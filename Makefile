@@ -1,0 +1,48 @@
+# Development entry points for the TopkRGS reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# One Go benchmark per paper table/figure plus ablations (gene-scaled).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Paper-scale regeneration of every table and figure into results/.
+experiments:
+	mkdir -p results
+	$(GO) run ./cmd/benchrunner -exp table1       > results/table1.txt
+	$(GO) run ./cmd/benchrunner -exp table2       > results/table2.txt
+	$(GO) run ./cmd/benchrunner -exp defaultclass > results/defaultclass.txt
+	$(GO) run ./cmd/benchrunner -exp fig6 -datasets ALL,LC -budget 500000 > results/fig6_all_lc.txt
+	$(GO) run ./cmd/benchrunner -exp fig6 -datasets PC -budget 500000 -minsups 0.95,0.9,0.85 > results/fig6_pc.txt
+	$(GO) run ./cmd/benchrunner -exp fig6 -datasets OC -budget 500000 -minsups 0.95,0.9 -topkbudget 50000000 > results/fig6_oc.txt
+	$(GO) run ./cmd/benchrunner -exp fig6e        > results/fig6e.txt
+	$(GO) run ./cmd/benchrunner -exp fig7         > results/fig7.txt
+	$(GO) run ./cmd/benchrunner -exp fig8         > results/fig8.txt
+	$(GO) run ./cmd/benchrunner -exp minsupsweep  > results/minsupsweep.txt
+	$(GO) run ./cmd/benchrunner -exp groupcount   > results/groupcount.txt
+	$(GO) run ./cmd/benchrunner -exp topgenes     > results/topgenes.txt
+	$(GO) run ./cmd/benchrunner -exp ablation -budget 500000 > results/ablation.txt
+
+# Short fuzzing sessions over the dataset parsers.
+fuzz:
+	$(GO) test -fuzz FuzzReadMatrix -fuzztime 30s ./internal/dataset/
+	$(GO) test -fuzz FuzzReadDataset -fuzztime 30s ./internal/dataset/
+
+clean:
+	rm -f test_output.txt bench_output.txt

@@ -1,0 +1,157 @@
+// Command benchrunner regenerates the paper's tables and figures on the
+// synthetic dataset profiles.
+//
+// Usage:
+//
+//	benchrunner -exp table1|fig6|fig6e|table2|fig7|fig8|defaultclass|minsupsweep|ablation|all [-scale N]
+//
+// -scale divides the profiles' gene counts (1 = paper scale; larger is
+// faster). Output goes to stdout in paper-style rows.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/eval"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig6e, table2, fig7, fig8, defaultclass, minsupsweep, groupcount, topgenes, ablation, all")
+	scale := flag.Int("scale", 1, "gene-count divisor (1 = paper scale)")
+	budget := flag.Int("budget", 3_000_000, "baseline node budget before DNF")
+	topkBudget := flag.Int("topkbudget", 0, "optional MineTopkRGS node budget in fig6 (0 = unbounded)")
+	noColumn := flag.Bool("nocolumn", false, "skip CHARM/CLOSET+ in fig6")
+	datasets := flag.String("datasets", "", "comma-separated dataset filter for fig6 (e.g. ALL,LC)")
+	minsups := flag.String("minsups", "", "comma-separated relative supports for fig6 (e.g. 0.95,0.9)")
+	jsonOut := flag.String("json", "", "also write the experiment's structured results as JSON to this file")
+	flag.Parse()
+
+	s := bench.Scale(*scale)
+	w := os.Stdout
+	writeJSON := func(v any) error {
+		if *jsonOut == "" {
+			return nil
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(v); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("table1", func() error {
+		rows, err := bench.Table1(w, s)
+		if err != nil {
+			return err
+		}
+		return writeJSON(rows)
+	})
+	run("fig6", func() error {
+		cfg := bench.DefaultFig6Config()
+		cfg.Scale = s
+		cfg.BaselineBudget = *budget
+		cfg.TopkBudget = *topkBudget
+		cfg.IncludeColumnMiners = !*noColumn
+		if *datasets != "" {
+			for _, d := range strings.Split(*datasets, ",") {
+				name := strings.TrimSpace(d)
+				if *scale > 1 {
+					name = fmt.Sprintf("%s/%d", name, *scale)
+				}
+				cfg.Datasets = append(cfg.Datasets, name)
+			}
+		}
+		if *minsups != "" {
+			cfg.Minsups = nil
+			for _, m := range strings.Split(*minsups, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(m), 64)
+				if err != nil {
+					return fmt.Errorf("bad -minsups entry %q: %v", m, err)
+				}
+				cfg.Minsups = append(cfg.Minsups, v)
+			}
+		}
+		pts, err := bench.Fig6(w, cfg)
+		if err != nil {
+			return err
+		}
+		bench.ChartFig6(w, pts)
+		return writeJSON(pts)
+	})
+	run("fig6e", func() error {
+		_, err := bench.Fig6e(w, s, 0.8, nil)
+		return err
+	})
+	run("table2", func() error {
+		results, err := bench.Table2(w, s, eval.Options{})
+		if err != nil {
+			return err
+		}
+		return writeJSON(results)
+	})
+	run("fig7", func() error {
+		pts, err := bench.Fig7(w, s, nil)
+		if err != nil {
+			return err
+		}
+		bench.ChartFig7(w, pts)
+		return nil
+	})
+	run("fig8", func() error {
+		res, err := bench.Fig8(w, s, 20, 20)
+		if err != nil {
+			return err
+		}
+		bench.ChartFig8(w, res)
+		return nil
+	})
+	run("defaultclass", func() error {
+		_, err := bench.DefaultClassStats(w, s, eval.Options{})
+		return err
+	})
+	run("minsupsweep", func() error {
+		return bench.MinsupSweep(w, s, nil)
+	})
+	run("topgenes", func() error {
+		pts, err := bench.TopGenes(w, s, nil, 0)
+		if err != nil {
+			return err
+		}
+		return writeJSON(pts)
+	})
+	run("groupcount", func() error {
+		pts, err := bench.GroupCount(w, s, nil, 0.9, *budget)
+		if err != nil {
+			return err
+		}
+		return writeJSON(pts)
+	})
+	run("ablation", func() error {
+		if _, err := bench.AblationEngines(w, s, 0.85, 0.9, *budget); err != nil {
+			return err
+		}
+		_, err := bench.AblationPruning(w, s, 0.8, 10, *budget)
+		return err
+	})
+}

@@ -1,0 +1,194 @@
+// Package cmd_test builds each CLI binary once and exercises it end to
+// end on temporary files — the executables' integration tests.
+package cmd_test
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binDir    string
+	buildErr  error
+)
+
+// binaries builds all commands into a shared temp dir.
+func binaries(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		binDir, buildErr = os.MkdirTemp("", "repro-bin")
+		if buildErr != nil {
+			return
+		}
+		for _, cmd := range []string{"topkrgs", "rcbt", "datagen", "benchrunner"} {
+			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "./"+cmd).CombinedOutput()
+			if err != nil {
+				buildErr = err
+				t.Logf("build %s: %s", cmd, out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building binaries: %v", buildErr)
+	}
+	return binDir
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binaries(t), name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestDatagenAndTopkrgs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	out := run(t, "datagen", "-profile", "ALL", "-scale", "60", "-out", dir)
+	if !strings.Contains(out, "wrote") {
+		t.Fatalf("datagen output: %s", out)
+	}
+	trainPath := filepath.Join(dir, "allx60_train.txt")
+	if _, err := os.Stat(trainPath); err != nil {
+		t.Fatalf("train file missing: %v", err)
+	}
+
+	out = run(t, "topkrgs", "-in", trainPath, "-matrix", "-class", "0", "-minsup", "0.8", "-k", "3")
+	if !strings.Contains(out, "distinct top-3 covering rule groups") {
+		t.Fatalf("topkrgs output: %s", out)
+	}
+	if !strings.Contains(out, "enumeration: nodes=") {
+		t.Fatalf("missing stats: %s", out)
+	}
+}
+
+func TestTopkrgsVerbose(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "datagen", "-profile", "LC", "-scale", "100", "-out", dir)
+	out := run(t, "topkrgs", "-in", filepath.Join(dir, "lcx100_train.txt"),
+		"-matrix", "-class", "1", "-minsup", "0.9", "-k", "2", "-v")
+	if !strings.Contains(out, "row ") {
+		t.Fatalf("verbose output missing per-row lists: %s", out)
+	}
+}
+
+func TestRcbtCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "datagen", "-profile", "ALL", "-scale", "40", "-out", dir)
+	out := run(t, "rcbt",
+		"-train", filepath.Join(dir, "allx40_train.txt"),
+		"-test", filepath.Join(dir, "allx40_test.txt"),
+		"-k", "3", "-nl", "5")
+	if !strings.Contains(out, "test accuracy:") {
+		t.Fatalf("rcbt output: %s", out)
+	}
+	if !strings.Contains(out, "classifiers built:") {
+		t.Fatalf("rcbt output missing classifier summary: %s", out)
+	}
+}
+
+func TestBenchrunnerTable1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	out := run(t, "benchrunner", "-exp", "table1", "-scale", "60")
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "ALL/60") {
+		t.Fatalf("benchrunner output: %s", out)
+	}
+}
+
+func TestBenchrunnerFig6Filtered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	out := run(t, "benchrunner", "-exp", "fig6", "-scale", "60",
+		"-datasets", "ALL", "-minsups", "0.9", "-budget", "100000")
+	if !strings.Contains(out, "TopkRGS(k=1)") {
+		t.Fatalf("fig6 output: %s", out)
+	}
+	if strings.Contains(out, "LC/60") {
+		t.Fatalf("dataset filter ignored: %s", out)
+	}
+}
+
+func TestTopkrgsLowerBounds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "datagen", "-profile", "ALL", "-scale", "80", "-out", dir)
+	out := run(t, "topkrgs", "-in", filepath.Join(dir, "allx80_train.txt"),
+		"-matrix", "-minsup", "0.8", "-k", "2", "-lb", "3")
+	if !strings.Contains(out, "lb: ") {
+		t.Fatalf("expected lower bound lines: %s", out)
+	}
+}
+
+func TestRcbtSaveLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "datagen", "-profile", "ALL", "-scale", "60", "-out", dir)
+	trainF := filepath.Join(dir, "allx60_train.txt")
+	testF := filepath.Join(dir, "allx60_test.txt")
+	model := filepath.Join(dir, "model.gob")
+	out1 := run(t, "rcbt", "-train", trainF, "-test", testF, "-k", "2", "-nl", "3", "-save", model)
+	if !strings.Contains(out1, "saved model to") {
+		t.Fatalf("save missing: %s", out1)
+	}
+	out2 := run(t, "rcbt", "-train", trainF, "-test", testF, "-load", model)
+	if !strings.Contains(out2, "loaded model from") {
+		t.Fatalf("load missing: %s", out2)
+	}
+	// Accuracy lines must agree between the trained and reloaded model.
+	accOf := func(out string) string {
+		for _, l := range strings.Split(out, "\n") {
+			if strings.HasPrefix(l, "test accuracy:") {
+				return l
+			}
+		}
+		return ""
+	}
+	if a, b := accOf(out1), accOf(out2); a == "" || a != b {
+		t.Fatalf("accuracy mismatch: %q vs %q", a, b)
+	}
+}
+
+func TestBenchrunnerJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "table1.json")
+	run(t, "benchrunner", "-exp", "table1", "-scale", "60", "-json", jsonPath)
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []map[string]any
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("JSON rows = %d, want 4", len(rows))
+	}
+}

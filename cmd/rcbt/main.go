@@ -1,0 +1,133 @@
+// Command rcbt trains an RCBT classifier on a training expression
+// matrix and evaluates it on a test matrix (both in the matrix text
+// format of internal/dataset).
+//
+// Usage:
+//
+//	rcbt -train train.txt -test test.txt [-k 10] [-nl 20] [-minsup 0.7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/rcbt"
+)
+
+func main() {
+	trainPath := flag.String("train", "", "training matrix file (required)")
+	testPath := flag.String("test", "", "test matrix file (required)")
+	k := flag.Int("k", 10, "covering rule groups per row (main + k-1 standby classifiers)")
+	nl := flag.Int("nl", 20, "lower-bound rules per rule group")
+	minsup := flag.Float64("minsup", 0.7, "relative minimum support")
+	saveModel := flag.String("save", "", "write the trained model (gob) to this path")
+	loadModel := flag.String("load", "", "load a model instead of training (train matrix still needed for discretization)")
+	flag.Parse()
+
+	if *trainPath == "" || *testPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	train, err := loadMatrix(*trainPath)
+	if err != nil {
+		fail(err)
+	}
+	test, err := loadMatrix(*testPath)
+	if err != nil {
+		fail(err)
+	}
+	dz, err := discretize.FitMatrix(train)
+	if err != nil {
+		fail(err)
+	}
+	dTrain, err := dz.Transform(train)
+	if err != nil {
+		fail(err)
+	}
+	dTest, err := dz.Transform(test)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("genes: %d raw, %d after entropy discretization; %d items\n",
+		train.NumGenes(), dz.NumSelectedGenes(), dTrain.NumItems())
+
+	var c *rcbt.Classifier
+	if *loadModel != "" {
+		f, err := os.Open(*loadModel)
+		if err != nil {
+			fail(err)
+		}
+		c, err = rcbt.Load(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("loaded model from %s\n", *loadModel)
+	} else {
+		c, err = rcbt.Train(dTrain, rcbt.Config{K: *k, NL: *nl, MinsupFrac: *minsup, LBMaxLen: 5, LBMaxCandidates: 1 << 18})
+		if err != nil {
+			fail(err)
+		}
+	}
+	if *saveModel != "" {
+		f, err := os.Create(*saveModel)
+		if err != nil {
+			fail(err)
+		}
+		if err := c.Save(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("saved model to %s\n", *saveModel)
+	}
+	fmt.Printf("classifiers built: %d (1 main + %d standby), default class %s\n",
+		c.NumClassifiers(), c.NumClassifiers()-1, dTrain.ClassNames[c.Default()])
+
+	preds, stats := c.PredictDataset(dTest)
+	correct := 0
+	for r, p := range preds {
+		marker := " "
+		if p == dTest.Labels[r] {
+			correct++
+			marker = "+"
+		}
+		_ = marker
+	}
+	fmt.Printf("test accuracy: %d/%d = %.2f%%\n", correct, dTest.NumRows(),
+		100*float64(correct)/float64(dTest.NumRows()))
+	fmt.Printf("decided by main classifier: %d, standby: %v, default class: %d\n",
+		first(stats.ByClassifier), rest(stats.ByClassifier), stats.Defaults)
+}
+
+func first(xs []int) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[0]
+}
+
+func rest(xs []int) []int {
+	if len(xs) <= 1 {
+		return nil
+	}
+	return xs[1:]
+}
+
+func loadMatrix(path string) (*dataset.Matrix, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.ReadMatrix(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rcbt:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,120 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/farmer"
+)
+
+// AblationPoint is one configuration's cost measurement.
+type AblationPoint struct {
+	Dataset string
+	Variant string
+	Elapsed time.Duration
+	Nodes   int
+	Aborted bool
+}
+
+// AblationEngines compares the three FARMER table engines (naive
+// materialized tables, prefix tree, bitsets) at identical pruning — the
+// paper's "FARMER vs FARMER+prefix" isolation of the representation.
+func AblationEngines(w io.Writer, scale Scale, minsupFrac, minconf float64, budget int) ([]AblationPoint, error) {
+	if minsupFrac == 0 {
+		minsupFrac = 0.85
+	}
+	if budget == 0 {
+		budget = 3_000_000
+	}
+	var out []AblationPoint
+	header(w, fmt.Sprintf("Ablation: projected-table engine (minsup=%.2f minconf=%.2f)", minsupFrac, minconf))
+	fmt.Fprintf(w, "%-10s %-10s %10s %12s\n", "dataset", "engine", "time", "nodes")
+	for _, p := range profiles(scale) {
+		pr, err := prepare(p)
+		if err != nil {
+			return nil, err
+		}
+		ms := minsupAbs(pr.dTrain, minsupFrac)
+		for _, eng := range []farmer.Engine{farmer.EngineNaive, farmer.EnginePrefix, farmer.EngineBitset} {
+			var res *farmer.Result
+			var err error
+			elapsed := timeIt(func() {
+				res, err = farmer.Mine(pr.dTrain, 0, farmer.Config{
+					Minsup: ms, Minconf: minconf, Engine: eng, MaxNodes: budget,
+				})
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := AblationPoint{
+				Dataset: p.Name, Variant: eng.String(),
+				Elapsed: elapsed, Nodes: res.Stats.Nodes, Aborted: res.Aborted,
+			}
+			out = append(out, pt)
+			fmt.Fprintf(w, "%-10s %-10s %10s %12d\n", pt.Dataset, pt.Variant, fmtDur(pt.Elapsed, pt.Aborted), pt.Nodes)
+		}
+	}
+	return out, nil
+}
+
+// AblationPruning measures MineTopkRGS with each optimization disabled
+// in turn: top-k pruning, backward pruning, single-item seeding, the
+// class-internal row ordering, and dynamic minsup raising. budget caps
+// enumeration nodes per run (0 = 3M); exceeded runs report DNF.
+func AblationPruning(w io.Writer, scale Scale, minsupFrac float64, k, budget int) ([]AblationPoint, error) {
+	if minsupFrac == 0 {
+		minsupFrac = 0.8
+	}
+	if k == 0 {
+		k = 10
+	}
+	if budget == 0 {
+		budget = 3_000_000
+	}
+	variants := []struct {
+		name string
+		mod  func(*core.Config)
+	}{
+		{"full", func(c *core.Config) {}},
+		{"-topk", func(c *core.Config) { c.TopKPruning = false }},
+		{"-backward", func(c *core.Config) { c.BackwardPruning = false }},
+		{"-seedinit", func(c *core.Config) { c.SeedInit = false }},
+		{"-roworder", func(c *core.Config) { c.SortRowsByItemCount = false }},
+		{"-dynminsup", func(c *core.Config) { c.DynamicMinsup = false }},
+	}
+	var out []AblationPoint
+	header(w, fmt.Sprintf("Ablation: MineTopkRGS optimizations (minsup=%.2f k=%d)", minsupFrac, k))
+	fmt.Fprintf(w, "%-10s %-12s %10s %12s\n", "dataset", "variant", "time", "nodes")
+	for _, p := range profiles(scale) {
+		pr, err := prepare(p)
+		if err != nil {
+			return nil, err
+		}
+		ms := minsupAbs(pr.dTrain, minsupFrac)
+		for _, v := range variants {
+			cfg := core.DefaultConfig(ms, k)
+			cfg.MaxNodes = budget
+			v.mod(&cfg)
+			var nodes int
+			aborted := false
+			var err error
+			elapsed := timeIt(func() {
+				var res *core.Result
+				res, err = core.Mine(pr.dTrain, 0, cfg)
+				if res != nil {
+					nodes = res.Stats.Nodes
+					aborted = res.Stats.Aborted
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := AblationPoint{Dataset: p.Name, Variant: v.name, Elapsed: elapsed, Nodes: nodes, Aborted: aborted}
+			out = append(out, pt)
+			fmt.Fprintf(w, "%-10s %-12s %10s %12d\n", pt.Dataset, pt.Variant, fmtDur(pt.Elapsed, pt.Aborted), pt.Nodes)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"io"
+
+	"repro/internal/report"
+)
+
+// ChartFig6 renders the Figure 6 measurements as one log-scale ASCII
+// chart per dataset: runtime versus relative minimum support, one curve
+// per algorithm, with DNF points censored.
+func ChartFig6(w io.Writer, pts []Fig6Point) {
+	byDataset := map[string]map[string][]report.Point{}
+	var datasets []string
+	for _, p := range pts {
+		if byDataset[p.Dataset] == nil {
+			byDataset[p.Dataset] = map[string][]report.Point{}
+			datasets = append(datasets, p.Dataset)
+		}
+		byDataset[p.Dataset][p.Algorithm] = append(byDataset[p.Dataset][p.Algorithm], report.Point{
+			X:        p.Minsup,
+			Y:        p.Elapsed.Seconds(),
+			Censored: p.Aborted,
+		})
+	}
+	for _, ds := range datasets {
+		var series []report.Series
+		for _, alg := range fig6AlgorithmOrder(byDataset[ds]) {
+			series = append(series, report.Series{Name: alg, Points: byDataset[ds][alg]})
+		}
+		report.SortSeriesPoints(series)
+		report.LineChart(w, "Figure 6 — "+ds, "relative minsup", "runtime (s)", series, 64, 18, true)
+	}
+}
+
+// fig6AlgorithmOrder yields algorithm names in a stable, paper-like
+// order (TopkRGS series first).
+func fig6AlgorithmOrder(m map[string][]report.Point) []string {
+	preferred := []string{
+		"TopkRGS(k=1)", "TopkRGS(k=100)",
+		"FARMER+prefix(c=0.9)", "FARMER+prefix(c=0)",
+		"FARMER(c=0.9)", "FARMER(c=0)",
+		"CHARM(diffsets)", "CLOSET+",
+	}
+	var out []string
+	for _, n := range preferred {
+		if _, ok := m[n]; ok {
+			out = append(out, n)
+		}
+	}
+	for n := range m {
+		seen := false
+		for _, o := range out {
+			if o == n {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// ChartFig7 renders Figure 7: RCBT accuracy versus nl, one curve per
+// dataset.
+func ChartFig7(w io.Writer, pts []Fig7Point) {
+	byDataset := map[string][]report.Point{}
+	var datasets []string
+	for _, p := range pts {
+		if byDataset[p.Dataset] == nil {
+			datasets = append(datasets, p.Dataset)
+		}
+		byDataset[p.Dataset] = append(byDataset[p.Dataset], report.Point{
+			X: float64(p.NL), Y: p.Accuracy * 100,
+		})
+	}
+	var series []report.Series
+	for _, ds := range datasets {
+		series = append(series, report.Series{Name: ds, Points: byDataset[ds]})
+	}
+	report.SortSeriesPoints(series)
+	report.LineChart(w, "Figure 7 — RCBT accuracy vs nl", "nl", "accuracy (%)", series, 64, 14, false)
+}
+
+// ChartFig8 renders Figure 8's scatter: chi-square rank (x) against
+// frequency of occurrence in top-1 lower-bound rules (y).
+func ChartFig8(w io.Writer, res *Fig8Result) {
+	pts := make([]report.Point, 0, len(res.Genes))
+	for _, g := range res.Genes {
+		pts = append(pts, report.Point{X: float64(g.Rank), Y: float64(g.Frequency)})
+	}
+	report.Scatter(w, "Figure 8 — gene rank vs rule participation (PC)",
+		"chi-square rank (1 = best)", "occurrences in lower-bound rules", pts, 64, 16)
+}

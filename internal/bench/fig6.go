@@ -1,0 +1,240 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/charm"
+	"repro/internal/closet"
+	"repro/internal/core"
+	"repro/internal/farmer"
+)
+
+// Fig6Point is one (algorithm, minsup) runtime measurement.
+type Fig6Point struct {
+	Dataset   string
+	Algorithm string
+	Minsup    float64 // relative
+	Elapsed   time.Duration
+	Aborted   bool
+	Groups    int
+}
+
+// Fig6Config tunes the runtime sweep.
+type Fig6Config struct {
+	Scale Scale
+	// Minsups are relative thresholds (paper: 0.95 down to 0.60).
+	Minsups []float64
+	// BaselineBudget caps baseline enumeration nodes so the sweep
+	// terminates; exceeded runs report DNF (the paper's "cannot finish").
+	BaselineBudget int
+	// TopkBudget optionally caps MineTopkRGS nodes as well (0 =
+	// unbounded). The paper's Figure 6 runs TopkRGS to completion; a
+	// budget keeps exhaustive sweeps on the hardest profiles bounded and
+	// reports DNF honestly when hit.
+	TopkBudget int
+	// IncludeColumnMiners also times CHARM and CLOSET+ (often DNF).
+	IncludeColumnMiners bool
+	// Datasets filters by profile name; nil = all four.
+	Datasets []string
+}
+
+// DefaultFig6Config mirrors the paper's sweep.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		Scale:               1,
+		Minsups:             []float64{0.95, 0.9, 0.85, 0.8, 0.75, 0.7, 0.65, 0.6},
+		BaselineBudget:      3_000_000,
+		IncludeColumnMiners: true,
+	}
+}
+
+// Fig6 regenerates Figure 6(a-d): mining runtime versus minimum support
+// for MineTopkRGS (k=1 and k=100) against FARMER (naive engine),
+// FARMER+prefix, and optionally CHARM / CLOSET+.
+func Fig6(w io.Writer, cfg Fig6Config) ([]Fig6Point, error) {
+	if len(cfg.Minsups) == 0 {
+		cfg.Minsups = DefaultFig6Config().Minsups
+	}
+	if cfg.BaselineBudget == 0 {
+		cfg.BaselineBudget = DefaultFig6Config().BaselineBudget
+	}
+	var out []Fig6Point
+	for _, p := range profiles(cfg.Scale) {
+		if !wantDataset(cfg.Datasets, p.Name) {
+			continue
+		}
+		pr, err := prepare(p)
+		if err != nil {
+			return nil, err
+		}
+		header(w, fmt.Sprintf("Figure 6: runtime vs minsup on %s (rows=%d items=%d)",
+			p.Name, pr.dTrain.NumRows(), pr.dTrain.NumItems()))
+		fmt.Fprintf(w, "%-8s %-22s %10s %10s\n", "minsup", "algorithm", "time", "groups")
+		for _, frac := range cfg.Minsups {
+			ms := minsupAbs(pr.dTrain, frac)
+			pts, err := fig6AtMinsup(pr, frac, ms, cfg)
+			if err != nil {
+				return nil, err
+			}
+			for _, pt := range pts {
+				fmt.Fprintf(w, "%-8.2f %-22s %10s %10d\n",
+					pt.Minsup, pt.Algorithm, fmtDur(pt.Elapsed, pt.Aborted), pt.Groups)
+			}
+			out = append(out, pts...)
+		}
+	}
+	return out, nil
+}
+
+func wantDataset(filter []string, name string) bool {
+	if len(filter) == 0 {
+		return true
+	}
+	for _, f := range filter {
+		if f == name {
+			return true
+		}
+	}
+	return false
+}
+
+// fig6AtMinsup times every algorithm at one support level.
+func fig6AtMinsup(pr *prepared, frac float64, ms int, cfg Fig6Config) ([]Fig6Point, error) {
+	var pts []Fig6Point
+	add := func(alg string, elapsed time.Duration, aborted bool, groups int) {
+		pts = append(pts, Fig6Point{
+			Dataset: pr.profile.Name, Algorithm: alg, Minsup: frac,
+			Elapsed: elapsed, Aborted: aborted, Groups: groups,
+		})
+	}
+
+	for _, k := range []int{1, 100} {
+		var groups int
+		aborted := false
+		var err error
+		elapsed := timeIt(func() {
+			cc := core.DefaultConfig(ms, k)
+			cc.MaxNodes = cfg.TopkBudget
+			var res *core.Result
+			res, err = core.Mine(pr.dTrain, 0, cc)
+			if res != nil {
+				groups = len(res.Groups)
+				aborted = res.Stats.Aborted
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+		add(fmt.Sprintf("TopkRGS(k=%d)", k), elapsed, aborted, groups)
+	}
+
+	for _, fc := range []struct {
+		name    string
+		engine  farmer.Engine
+		minconf float64
+	}{
+		{"FARMER+prefix(c=0.9)", farmer.EnginePrefix, 0.9},
+		{"FARMER+prefix(c=0)", farmer.EnginePrefix, 0},
+		{"FARMER(c=0.9)", farmer.EngineNaive, 0.9},
+		{"FARMER(c=0)", farmer.EngineNaive, 0},
+	} {
+		var res *farmer.Result
+		var err error
+		elapsed := timeIt(func() {
+			res, err = farmer.Mine(pr.dTrain, 0, farmer.Config{
+				Minsup: ms, Minconf: fc.minconf, Engine: fc.engine,
+				MaxNodes: cfg.BaselineBudget,
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		add(fc.name, elapsed, res.Aborted, len(res.Groups))
+	}
+
+	if cfg.IncludeColumnMiners {
+		// Column miners count support over all rows; give them the same
+		// absolute threshold the rule miners use on the consequent class,
+		// the most favorable comparable setting.
+		colMS := ms
+		{
+			var res *charm.Result
+			var err error
+			elapsed := timeIt(func() {
+				res, err = charm.Mine(pr.dTrain, charm.Config{Minsup: colMS, MaxNodes: cfg.BaselineBudget})
+			})
+			if err != nil {
+				return nil, err
+			}
+			add("CHARM(diffsets)", elapsed, res.Aborted, len(res.Closed))
+		}
+		{
+			var res *closet.Result
+			var err error
+			elapsed := timeIt(func() {
+				res, err = closet.Mine(pr.dTrain, closet.Config{Minsup: colMS, MaxNodes: cfg.BaselineBudget})
+			})
+			if err != nil {
+				return nil, err
+			}
+			add("CLOSET+", elapsed, res.Aborted, len(res.Closed))
+		}
+	}
+	return pts, nil
+}
+
+// Fig6e regenerates Figure 6(e): MineTopkRGS runtime versus k on the
+// ALL and PC datasets at a fixed relative support.
+func Fig6e(w io.Writer, scale Scale, minsupFrac float64, ks []int) ([]Fig6Point, error) {
+	if len(ks) == 0 {
+		ks = []int{1, 20, 40, 60, 80, 100}
+	}
+	if minsupFrac == 0 {
+		minsupFrac = 0.8
+	}
+	var out []Fig6Point
+	for _, p := range profiles(scale) {
+		if bn := baseName(p.Name); bn != "ALL" && bn != "PC" {
+			continue
+		}
+		pr, err := prepare(p)
+		if err != nil {
+			return nil, err
+		}
+		ms := minsupAbs(pr.dTrain, minsupFrac)
+		header(w, fmt.Sprintf("Figure 6(e): runtime vs k on %s (minsup=%.2f)", p.Name, minsupFrac))
+		fmt.Fprintf(w, "%-6s %10s %10s\n", "k", "time", "groups")
+		for _, k := range ks {
+			var groups int
+			var err error
+			elapsed := timeIt(func() {
+				var res *core.Result
+				res, err = core.Mine(pr.dTrain, 0, core.DefaultConfig(ms, k))
+				if res != nil {
+					groups = len(res.Groups)
+				}
+			})
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(w, "%-6d %10s %10d\n", k, fmtDur(elapsed, false), groups)
+			out = append(out, Fig6Point{
+				Dataset: p.Name, Algorithm: fmt.Sprintf("TopkRGS(k=%d)", k),
+				Minsup: minsupFrac, Elapsed: elapsed, Groups: groups,
+			})
+		}
+	}
+	return out, nil
+}
+
+// baseName strips the "/scale" suffix from a scaled profile name.
+func baseName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '/' {
+			return name[:i]
+		}
+	}
+	return name
+}

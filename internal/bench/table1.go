@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+)
+
+// Table1Row is one dataset's characteristics (Table 1).
+type Table1Row struct {
+	Dataset       string
+	OriginalGenes int
+	GenesAfter    int
+	Class1        string
+	Class0        string
+	Train         int
+	Train1        int
+	Train0        int
+	Test          int
+}
+
+// Table1 regenerates Table 1: the datasets' shapes and the number of
+// genes surviving entropy discretization.
+func Table1(w io.Writer, scale Scale) ([]Table1Row, error) {
+	header(w, "Table 1: Gene Expression Datasets")
+	fmt.Fprintf(w, "%-10s %10s %12s %10s %10s %16s %6s\n",
+		"Dataset", "#Genes", "#AfterDisc", "Class1", "Class0", "#Train", "#Test")
+	var rows []Table1Row
+	for _, p := range profiles(scale) {
+		pr, err := prepare(p)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{
+			Dataset:       p.Name,
+			OriginalGenes: p.NumGenes,
+			GenesAfter:    pr.dz.NumSelectedGenes(),
+			Class1:        p.Class1,
+			Class0:        p.Class0,
+			Train:         p.Train1 + p.Train0,
+			Train1:        p.Train1,
+			Train0:        p.Train0,
+			Test:          p.Test1 + p.Test0,
+		}
+		rows = append(rows, row)
+		fmt.Fprintf(w, "%-10s %10d %12d %10s %10s %9d (%d:%d) %6d\n",
+			row.Dataset, row.OriginalGenes, row.GenesAfter, row.Class1, row.Class0,
+			row.Train, row.Train1, row.Train0, row.Test)
+	}
+	return rows, nil
+}

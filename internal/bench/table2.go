@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/eval"
+)
+
+// Table2 regenerates Table 2: test accuracy of RCBT, CBA, IRG, the C4.5
+// family, and SVM on the four datasets, plus the average row.
+func Table2(w io.Writer, scale Scale, opts eval.Options) ([]*eval.Result, error) {
+	header(w, "Table 2: Classification Results")
+	var results []*eval.Result
+	for _, p := range profiles(scale) {
+		res, err := eval.EvaluateProfile(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+	}
+	fmt.Fprint(w, eval.FormatTable(results))
+	return results, nil
+}
+
+// DefaultClassStats regenerates the Section 6.2 analysis of default
+// class usage (CBA vs RCBT) and standby classifier activity.
+func DefaultClassStats(w io.Writer, scale Scale, opts eval.Options) ([]*eval.Result, error) {
+	header(w, "Section 6.2: default-class and standby-classifier usage")
+	fmt.Fprintf(w, "%-10s %14s %14s %14s %14s %14s\n",
+		"Dataset", "CBA defaults", "CBA def errs", "RCBT defaults", "RCBT def errs", "standby rows")
+	var results []*eval.Result
+	for _, p := range profiles(scale) {
+		res, err := eval.EvaluateProfile(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		results = append(results, res)
+		standby := 0
+		for _, n := range res.StandbyUsed {
+			standby += n
+		}
+		fmt.Fprintf(w, "%-10s %14d %14d %14d %14d %14d\n",
+			res.Dataset,
+			res.DefaultsUsed[eval.NameCBA], res.DefaultErrors[eval.NameCBA],
+			res.DefaultsUsed[eval.NameRCBT], res.DefaultErrors[eval.NameRCBT],
+			standby)
+	}
+	return results, nil
+}
+
+// MinsupSweep regenerates the Section 6.2 sensitivity check: CBA and
+// RCBT accuracy while varying the relative minimum support from 0.6 to
+// 0.8.
+func MinsupSweep(w io.Writer, scale Scale, fracs []float64) error {
+	if len(fracs) == 0 {
+		fracs = []float64{0.6, 0.65, 0.7, 0.75, 0.8}
+	}
+	header(w, "Section 6.2: accuracy vs minimum support (CBA / RCBT)")
+	fmt.Fprintf(w, "%-10s", "Dataset")
+	for _, f := range fracs {
+		fmt.Fprintf(w, "   ms=%.2f (CBA/RCBT)", f)
+	}
+	fmt.Fprintln(w)
+	for _, p := range profiles(scale) {
+		fmt.Fprintf(w, "%-10s", p.Name)
+		for _, f := range fracs {
+			res, err := eval.EvaluateProfile(p, eval.Options{
+				MinsupFrac: f,
+				Skip: map[string]bool{
+					eval.NameIRG: true, eval.NameC45: true,
+					eval.NameBagging: true, eval.NameBoosting: true, eval.NameSVM: true,
+				},
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "      %.3f/%.3f", res.Accuracy[eval.NameCBA], res.Accuracy[eval.NameRCBT])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

@@ -1,0 +1,339 @@
+// Package bitset implements dense bit sets backed by uint64 words.
+//
+// Sets are the fundamental representation for row supports and item
+// supports throughout the miner: gene expression datasets have at most a
+// few hundred rows, so a row set is a handful of machine words and all
+// set algebra (intersection, union, containment) reduces to a short loop
+// of bitwise operations.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-universe bit set. The zero value is an empty set over an
+// empty universe; use New to create a set able to hold n elements.
+// Elements are non-negative ints in [0, n).
+type Set struct {
+	words []uint64
+	n     int // universe size in bits
+}
+
+// New returns an empty set over the universe {0, ..., n-1}.
+func New(n int) *Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative universe size %d", n))
+	}
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a set over {0,...,n-1} containing the given elements.
+func FromIndices(n int, indices ...int) *Set {
+	s := New(n)
+	for _, i := range indices {
+		s.Add(i)
+	}
+	return s
+}
+
+// Len returns the universe size the set was created with.
+func (s *Set) Len() int { return s.n }
+
+// Add inserts element i into the set.
+func (s *Set) Add(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes element i from the set.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", i, s.n))
+	}
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Contains reports whether i is in the set.
+func (s *Set) Contains(i int) bool {
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// IsEmpty reports whether the set has no elements.
+func (s *Set) IsEmpty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	c := &Set{words: make([]uint64, len(s.words)), n: s.n}
+	copy(c.words, s.words)
+	return c
+}
+
+// CopyFrom overwrites s with the contents of other. The two sets must
+// share a universe size.
+func (s *Set) CopyFrom(other *Set) {
+	s.mustMatch(other)
+	copy(s.words, other.words)
+}
+
+func (s *Set) mustMatch(other *Set) {
+	if s.n != other.n {
+		panic(fmt.Sprintf("bitset: universe mismatch %d != %d", s.n, other.n))
+	}
+}
+
+// IntersectWith replaces s with s ∩ other.
+func (s *Set) IntersectWith(other *Set) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] &= other.words[i]
+	}
+}
+
+// UnionWith replaces s with s ∪ other.
+func (s *Set) UnionWith(other *Set) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// DifferenceWith replaces s with s \ other.
+func (s *Set) DifferenceWith(other *Set) {
+	s.mustMatch(other)
+	for i := range s.words {
+		s.words[i] &^= other.words[i]
+	}
+}
+
+// Intersect returns a new set s ∩ other.
+func (s *Set) Intersect(other *Set) *Set {
+	c := s.Clone()
+	c.IntersectWith(other)
+	return c
+}
+
+// Union returns a new set s ∪ other.
+func (s *Set) Union(other *Set) *Set {
+	c := s.Clone()
+	c.UnionWith(other)
+	return c
+}
+
+// Difference returns a new set s \ other.
+func (s *Set) Difference(other *Set) *Set {
+	c := s.Clone()
+	c.DifferenceWith(other)
+	return c
+}
+
+// IntersectionCount returns |s ∩ other| without allocating.
+func (s *Set) IntersectionCount(other *Set) int {
+	s.mustMatch(other)
+	c := 0
+	for i, w := range s.words {
+		c += bits.OnesCount64(w & other.words[i])
+	}
+	return c
+}
+
+// ContainsAll reports whether other ⊆ s.
+func (s *Set) ContainsAll(other *Set) bool {
+	s.mustMatch(other)
+	for i, w := range other.words {
+		if w&^s.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersects reports whether s ∩ other is non-empty.
+func (s *Set) Intersects(other *Set) bool {
+	s.mustMatch(other)
+	for i, w := range s.words {
+		if w&other.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and other contain exactly the same elements.
+func (s *Set) Equal(other *Set) bool {
+	if s.n != other.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != other.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes all elements.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Fill adds every element of the universe to the set.
+func (s *Set) Fill() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+// trim zeroes bits beyond the universe size in the last word.
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// Indices returns the elements of the set in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// ForEach calls fn for each element in ascending order. If fn returns
+// false, iteration stops early.
+func (s *Set) ForEach(fn func(i int) bool) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			if !fn(wi*wordBits + b) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Min returns the smallest element and true, or (0, false) if empty.
+func (s *Set) Min() (int, bool) {
+	for wi, w := range s.words {
+		if w != 0 {
+			return wi*wordBits + bits.TrailingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// Max returns the largest element and true, or (0, false) if empty.
+func (s *Set) Max() (int, bool) {
+	for wi := len(s.words) - 1; wi >= 0; wi-- {
+		if w := s.words[wi]; w != 0 {
+			return wi*wordBits + 63 - bits.LeadingZeros64(w), true
+		}
+	}
+	return 0, false
+}
+
+// CountBelow returns the number of elements strictly less than limit.
+func (s *Set) CountBelow(limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	if limit > s.n {
+		limit = s.n
+	}
+	full := limit / wordBits
+	c := 0
+	for i := 0; i < full; i++ {
+		c += bits.OnesCount64(s.words[i])
+	}
+	if rem := limit % wordBits; rem != 0 {
+		c += bits.OnesCount64(s.words[full] & ((1 << uint(rem)) - 1))
+	}
+	return c
+}
+
+// AnyBelow reports whether the set contains an element strictly less
+// than limit that is not present in excl.
+func (s *Set) AnyBelow(limit int, excl *Set) bool {
+	s.mustMatch(excl)
+	if limit <= 0 {
+		return false
+	}
+	if limit > s.n {
+		limit = s.n
+	}
+	full := limit / wordBits
+	for i := 0; i < full; i++ {
+		if s.words[i]&^excl.words[i] != 0 {
+			return true
+		}
+	}
+	if rem := limit % wordBits; rem != 0 {
+		if s.words[full]&^excl.words[full]&((1<<uint(rem))-1) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the set as "{a, b, c}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) bool {
+		if !first {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%d", i)
+		first = false
+		return true
+	})
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Key returns a compact string usable as a map key identifying the set's
+// contents. Sets over the same universe have equal keys iff they are
+// equal.
+func (s *Set) Key() string {
+	b := make([]byte, len(s.words)*8)
+	for i, w := range s.words {
+		for j := 0; j < 8; j++ {
+			b[i*8+j] = byte(w >> (8 * uint(j)))
+		}
+	}
+	return string(b)
+}

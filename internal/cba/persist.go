@@ -1,0 +1,24 @@
+package cba
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Save serializes the classifier with encoding/gob.
+func (c *Classifier) Save(w io.Writer) error {
+	return gob.NewEncoder(w).Encode(c)
+}
+
+// Load reads a classifier written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var c Classifier
+	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+		return nil, fmt.Errorf("cba: load: %v", err)
+	}
+	if c.NumItems < 0 {
+		return nil, fmt.Errorf("cba: load: malformed model")
+	}
+	return &c, nil
+}

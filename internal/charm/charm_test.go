@@ -1,0 +1,201 @@
+package charm
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+)
+
+// bruteForceClosed enumerates all closed itemsets with support >= minsup
+// by closing every row subset.
+func bruteForceClosed(d *dataset.Dataset, minsup int) []ClosedItemset {
+	n := d.NumRows()
+	seen := map[string]ClosedItemset{}
+	for mask := 1; mask < 1<<n; mask++ {
+		rows := bitset.New(n)
+		for r := 0; r < n; r++ {
+			if mask&(1<<r) != 0 {
+				rows.Add(r)
+			}
+		}
+		items := d.CommonItems(rows)
+		if len(items) == 0 {
+			continue
+		}
+		sup := d.SupportSet(items)
+		if sup.Count() < minsup {
+			continue
+		}
+		key := sup.Key()
+		if _, ok := seen[key]; !ok {
+			seen[key] = ClosedItemset{Items: items, Support: sup.Count()}
+		}
+	}
+	var out []ClosedItemset
+	for _, c := range seen {
+		out = append(out, c)
+	}
+	sortClosed(out)
+	return out
+}
+
+func sortClosed(cs []ClosedItemset) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Support != cs[j].Support {
+			return cs[i].Support > cs[j].Support
+		}
+		return less(cs[i].Items, cs[j].Items)
+	})
+}
+
+func randomDataset(r *rand.Rand) *dataset.Dataset {
+	nRows := 3 + r.Intn(7)
+	nItems := 2 + r.Intn(9)
+	d := &dataset.Dataset{ClassNames: []string{"C", "notC"}}
+	for i := 0; i < nItems; i++ {
+		d.Items = append(d.Items, dataset.Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < nRows; row++ {
+		var items []int
+		for i := 0; i < nItems; i++ {
+			if r.Intn(3) != 0 {
+				items = append(items, i)
+			}
+		}
+		d.Rows = append(d.Rows, items)
+		d.Labels = append(d.Labels, dataset.Label(r.Intn(2)))
+	}
+	return d
+}
+
+func TestFigure1ClosedItemsets(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	res, err := Mine(d, Config{Minsup: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceClosed(d, 1)
+	if !reflect.DeepEqual(res.Closed, want) {
+		t.Fatalf("closed sets mismatch:\ngot  %v\nwant %v", res.Closed, want)
+	}
+}
+
+func TestFigure1Minsup3(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	res, err := Mine(d, Config{Minsup: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bruteForceClosed(d, 3)
+	if !reflect.DeepEqual(res.Closed, want) {
+		t.Fatalf("closed sets mismatch:\ngot  %v\nwant %v", res.Closed, want)
+	}
+}
+
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minsup := 1 + r.Intn(3)
+		res, err := Mine(d, Config{Minsup: minsup})
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(res.Closed, bruteForceClosed(d, minsup))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxNodesAborts(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	res, err := Mine(d, Config{Minsup: 1, MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted {
+		t.Fatal("tiny budget should abort")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	if _, err := Mine(d, Config{Minsup: 0}); err == nil {
+		t.Fatal("minsup=0 must error")
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	res, err := Mine(d, Config{Minsup: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Closed) != 0 {
+		t.Fatal("excessive minsup must yield nothing")
+	}
+}
+
+func TestIsSubset(t *testing.T) {
+	cases := []struct {
+		a, b []int
+		want bool
+	}{
+		{[]int{1, 3}, []int{1, 2, 3}, true},
+		{[]int{1, 4}, []int{1, 2, 3}, false},
+		{nil, []int{1}, true},
+		{[]int{1}, nil, false},
+		{[]int{1, 2}, []int{1, 2}, true},
+	}
+	for _, c := range cases {
+		if got := isSubset(c.a, c.b); got != c.want {
+			t.Errorf("isSubset(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMineRuleGroupsMatchesFarmerSemantics(t *testing.T) {
+	// Closed itemsets reinterpreted as rule groups must yield the same
+	// group set (by closure + class counting) as the brute-force rule
+	// group oracle: every class-frequent group's generating itemset is
+	// closed over all rows OR shares its closure; dedup by closure.
+	d, _ := dataset.RunningExample()
+	groups, res, err := MineRuleGroups(d, 0, Config{Minsup: 1}, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Fatal("unexpected abort")
+	}
+	// Every group must be closed, meet the class threshold, and be unique.
+	seen := map[string]bool{}
+	for _, g := range groups {
+		if g.Support < 2 {
+			t.Fatalf("group below class support: %+v", g)
+		}
+		sup := d.SupportSet(g.Antecedent)
+		if !sup.Equal(g.Rows) {
+			t.Fatal("rows mismatch")
+		}
+		if seen[g.Key()] {
+			t.Fatal("duplicate group")
+		}
+		seen[g.Key()] = true
+	}
+	// The abc -> C group must be present with conf 1.0.
+	found := false
+	for _, g := range groups {
+		if g.Confidence == 1.0 && g.Support == 2 && len(g.Antecedent) == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("abc -> C missing from CHARM-derived rule groups")
+	}
+}

@@ -1,0 +1,27 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// ExampleMine mines the top-1 covering rule groups of the paper's
+// running example (Figure 1) for consequent class C.
+func ExampleMine() {
+	d, _ := dataset.RunningExample()
+	res, err := core.Mine(d, 0, core.DefaultConfig(2, 1))
+	if err != nil {
+		panic(err)
+	}
+	for r := 0; r < 3; r++ { // the three class-C rows
+		for _, g := range res.PerRow[r] {
+			fmt.Printf("r%d: %s\n", r+1, g.Render(d))
+		}
+	}
+	// Output:
+	// r1: a[0,1) b[0,1) c[0,1) -> C (sup=2 conf=1.000)
+	// r2: a[0,1) b[0,1) c[0,1) -> C (sup=2 conf=1.000)
+	// r3: c[0,1) -> C (sup=3 conf=0.750)
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+// bruteForceGroups enumerates every rule group of class cls by closing
+// all row subsets — the oracle the miner is validated against. Only
+// groups with support >= minsup are returned.
+func bruteForceGroups(d *dataset.Dataset, cls dataset.Label, minsup int) []*rules.Group {
+	n := d.NumRows()
+	if n > 20 {
+		panic("oracle: dataset too large for exhaustive enumeration")
+	}
+	seen := map[string]*rules.Group{}
+	for mask := 1; mask < 1<<n; mask++ {
+		rows := bitset.New(n)
+		for r := 0; r < n; r++ {
+			if mask&(1<<r) != 0 {
+				rows.Add(r)
+			}
+		}
+		items := d.CommonItems(rows)
+		if len(items) == 0 {
+			continue
+		}
+		sup := d.SupportSet(items) // R(I(X))
+		key := sup.Key()
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		xp := 0
+		sup.ForEach(func(r int) bool {
+			if d.Labels[r] == cls {
+				xp++
+			}
+			return true
+		})
+		if xp < minsup {
+			continue
+		}
+		seen[key] = &rules.Group{
+			Antecedent: items,
+			Class:      cls,
+			Support:    xp,
+			Confidence: float64(xp) / float64(sup.Count()),
+			Rows:       sup,
+		}
+	}
+	out := make([]*rules.Group, 0, len(seen))
+	for _, g := range seen {
+		out = append(out, g)
+	}
+	rules.SortGroups(out)
+	return out
+}
+
+// bruteForceTopK derives the per-row top-k lists from the oracle groups.
+func bruteForceTopK(d *dataset.Dataset, cls dataset.Label, minsup, k int) map[int][]*rules.Group {
+	groups := bruteForceGroups(d, cls, minsup)
+	out := map[int][]*rules.Group{}
+	for r := 0; r < d.NumRows(); r++ {
+		if d.Labels[r] != cls {
+			continue
+		}
+		items := d.RowItemSet(r)
+		var covering []*rules.Group
+		for _, g := range groups {
+			if g.Covers(items) {
+				covering = append(covering, g)
+			}
+		}
+		sort.SliceStable(covering, func(i, j int) bool { return rules.GroupLess(covering[i], covering[j]) })
+		if len(covering) > k {
+			covering = covering[:k]
+		}
+		out[r] = covering
+	}
+	return out
+}
+
+// randomDataset builds a small random dataset for cross-validation.
+func randomDataset(r *rand.Rand) *dataset.Dataset {
+	nRows := 3 + r.Intn(8)   // 3..10 rows
+	nItems := 2 + r.Intn(10) // 2..11 items
+	d := &dataset.Dataset{ClassNames: []string{"C", "notC"}}
+	for i := 0; i < nItems; i++ {
+		d.Items = append(d.Items, dataset.Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < nRows; row++ {
+		var items []int
+		for i := 0; i < nItems; i++ {
+			if r.Intn(3) != 0 { // dense rows: richer closed structure
+				items = append(items, i)
+			}
+		}
+		d.Rows = append(d.Rows, items)
+		d.Labels = append(d.Labels, dataset.Label(r.Intn(2)))
+	}
+	// Guarantee at least one positive row.
+	d.Labels[0] = 0
+	return d
+}

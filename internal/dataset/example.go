@@ -1,0 +1,45 @@
+package dataset
+
+// RunningExample builds the 5-row dataset of the paper's Figure 1(a).
+// Items a..p are mapped to dense ids; class "C" is label 0, "notC" is
+// label 1. It is the golden fixture for miner tests across packages.
+//
+//	r1: a b c d e  -> C
+//	r2: a b c o p  -> C
+//	r3: c d e f g  -> C
+//	r4: c d e f g  -> notC
+//	r5: e f g h o  -> notC
+//
+// This reading is cross-checked against the transposed table of Figure
+// 1(b) and the worked examples: R({c,d,e}) = {r1,r3,r4}, top-1 group of
+// r1/r2 is abc->C (conf 100%, sup 2), of r3 is cde->C (66.7%, 2), and of
+// r4/r5 is efg->notC (66.7%, 2).
+func RunningExample() (*Dataset, map[string]int) {
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h", "o", "p"}
+	idx := make(map[string]int, len(names))
+	items := make([]Item, len(names))
+	for i, n := range names {
+		idx[n] = i
+		items[i] = Item{Gene: i, GeneName: n, Lo: 0, Hi: 1}
+	}
+	row := func(names ...string) []int {
+		r := make([]int, len(names))
+		for i, n := range names {
+			r[i] = idx[n]
+		}
+		return r
+	}
+	d := &Dataset{
+		Items: items,
+		Rows: [][]int{
+			row("a", "b", "c", "d", "e"),
+			row("a", "b", "c", "o", "p"),
+			row("c", "d", "e", "f", "g"),
+			row("c", "d", "e", "f", "g"),
+			row("e", "f", "g", "h", "o"),
+		},
+		Labels:     []Label{0, 0, 0, 1, 1},
+		ClassNames: []string{"C", "notC"},
+	}
+	return d, idx
+}

@@ -1,0 +1,54 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadMatrix asserts the matrix parser never panics and that
+// anything it accepts round-trips through WriteMatrix.
+func FuzzReadMatrix(f *testing.F) {
+	f.Add("#classes A B\n#genes g0 g1\nA\t1\t2\nB\t3\t4\n")
+	f.Add("#classes A B\n#genes g\n// comment\nA -1e9\n")
+	f.Add("")
+	f.Add("#classes A\n#genes g\nA 1\n")
+	f.Add("#genes g\n#classes A B\nA nope\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMatrix(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var sb strings.Builder
+		if err := WriteMatrix(&sb, m); err != nil {
+			t.Fatalf("accepted matrix failed to serialize: %v", err)
+		}
+		if _, err := ReadMatrix(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("serialized matrix failed to re-parse: %v", err)
+		}
+	})
+}
+
+// FuzzReadDataset asserts the discrete-dataset parser never panics and
+// that accepted inputs validate and round-trip.
+func FuzzReadDataset(f *testing.F) {
+	f.Add("#classes C notC\n#item 0 0 g 0 1\nC\t0\nnotC\n")
+	f.Add("#classes C notC\n#item 0 0 g -Inf +Inf\nC 0\n")
+	f.Add("#item 0 0 g 0 1\n")
+	f.Add("#classes C notC\n#item 1 0 g 0 1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadDataset(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var sb strings.Builder
+		if err := WriteDataset(&sb, d); err != nil {
+			t.Fatalf("accepted dataset failed to serialize: %v", err)
+		}
+		if _, err := ReadDataset(strings.NewReader(sb.String())); err != nil {
+			t.Fatalf("serialized dataset failed to re-parse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+// The row/item support operators form a Galois connection; the paper's
+// entire row-enumeration approach rests on its laws. These property
+// tests pin them down on random datasets.
+
+func randomGalois(r *rand.Rand) *Dataset {
+	nRows := 2 + r.Intn(9)
+	nItems := 2 + r.Intn(10)
+	d := &Dataset{ClassNames: []string{"C", "notC"}}
+	for i := 0; i < nItems; i++ {
+		d.Items = append(d.Items, Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < nRows; row++ {
+		var items []int
+		for i := 0; i < nItems; i++ {
+			if r.Intn(2) == 0 {
+				items = append(items, i)
+			}
+		}
+		d.Rows = append(d.Rows, items)
+		d.Labels = append(d.Labels, Label(r.Intn(2)))
+	}
+	return d
+}
+
+func randomRowSet(r *rand.Rand, n int) *bitset.Set {
+	s := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestGaloisExtensivity(t *testing.T) {
+	// X ⊆ R(I(X)) and A ⊆ I(R(A)).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomGalois(r)
+		x := randomRowSet(r, d.NumRows())
+		if !d.SupportSet(d.CommonItems(x)).ContainsAll(x) {
+			return false
+		}
+		var a []int
+		for i := 0; i < d.NumItems(); i++ {
+			if r.Intn(3) == 0 {
+				a = append(a, i)
+			}
+		}
+		closure := d.CommonItems(d.SupportSet(a))
+		set := map[int]bool{}
+		for _, it := range closure {
+			set[it] = true
+		}
+		for _, it := range a {
+			if !set[it] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaloisIdempotence(t *testing.T) {
+	// I(R(I(X))) = I(X): closures are stable.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomGalois(r)
+		x := randomRowSet(r, d.NumRows())
+		once := d.CommonItems(x)
+		twice := d.CommonItems(d.SupportSet(once))
+		return reflect.DeepEqual(once, twice)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaloisAntitone(t *testing.T) {
+	// X ⊆ Y implies I(Y) ⊆ I(X).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomGalois(r)
+		y := randomRowSet(r, d.NumRows())
+		x := y.Clone()
+		// Remove a random element to get X ⊂ Y (when possible).
+		if idx := y.Indices(); len(idx) > 0 {
+			x.Remove(idx[r.Intn(len(idx))])
+		}
+		iy := map[int]bool{}
+		for _, it := range d.CommonItems(y) {
+			iy[it] = true
+		}
+		ix := map[int]bool{}
+		for _, it := range d.CommonItems(x) {
+			ix[it] = true
+		}
+		for it := range iy {
+			if !ix[it] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGaloisSupportAntitone(t *testing.T) {
+	// A ⊆ B implies R(B) ⊆ R(A).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomGalois(r)
+		var b []int
+		for i := 0; i < d.NumItems(); i++ {
+			if r.Intn(2) == 0 {
+				b = append(b, i)
+			}
+		}
+		if len(b) == 0 {
+			return true
+		}
+		a := b[:len(b)-1]
+		return d.SupportSet(a).ContainsAll(d.SupportSet(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLemma31UpperBound(t *testing.T) {
+	// Lemma 3.1: I(X) -> C is the upper bound of the rule group whose
+	// antecedent support set is R(I(X)): i.e., I(X) is closed.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomGalois(r)
+		x := randomRowSet(r, d.NumRows())
+		items := d.CommonItems(x)
+		if len(items) == 0 {
+			return true
+		}
+		sup := d.SupportSet(items)
+		// No strict superset of items shares the support set.
+		for i := 0; i < d.NumItems(); i++ {
+			in := false
+			for _, it := range items {
+				if it == i {
+					in = true
+					break
+				}
+			}
+			if in {
+				continue
+			}
+			if d.ItemRows(i).ContainsAll(sup) {
+				return false // i should have been in the closure
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The matrix text format is line oriented:
+//
+//	#classes <name0> <name1> ...
+//	#genes <g0> <g1> ...
+//	<className> <v0> <v1> ... (one line per sample)
+//
+// Fields are tab- or space-separated. Lines starting with "//" are
+// comments. This mirrors the flat layout of the public microarray
+// distributions (samples as rows after transposition).
+
+// WriteMatrix serializes m in the matrix text format.
+func WriteMatrix(w io.Writer, m *Matrix) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#classes %s\n", strings.Join(m.ClassNames, " "))
+	fmt.Fprintf(bw, "#genes %s\n", strings.Join(m.GeneNames, " "))
+	for r, row := range m.Values {
+		fmt.Fprintf(bw, "%s", m.ClassNames[m.Labels[r]])
+		for _, v := range row {
+			fmt.Fprintf(bw, "\t%g", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadMatrix parses the matrix text format.
+func ReadMatrix(r io.Reader) (*Matrix, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	m := &Matrix{}
+	classIdx := map[string]Label{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "//") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch {
+		case fields[0] == "#classes":
+			m.ClassNames = fields[1:]
+			for i, c := range m.ClassNames {
+				classIdx[c] = Label(i)
+			}
+		case fields[0] == "#genes":
+			m.GeneNames = fields[1:]
+		default:
+			if m.ClassNames == nil || m.GeneNames == nil {
+				return nil, fmt.Errorf("dataset: line %d: data before #classes/#genes headers", line)
+			}
+			lab, ok := classIdx[fields[0]]
+			if !ok {
+				return nil, fmt.Errorf("dataset: line %d: unknown class %q", line, fields[0])
+			}
+			if len(fields)-1 != len(m.GeneNames) {
+				return nil, fmt.Errorf("dataset: line %d: %d values, want %d", line, len(fields)-1, len(m.GeneNames))
+			}
+			vals := make([]float64, len(fields)-1)
+			for i, f := range fields[1:] {
+				v, err := strconv.ParseFloat(f, 64)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad value %q: %v", line, f, err)
+				}
+				vals[i] = v
+			}
+			m.Values = append(m.Values, vals)
+			m.Labels = append(m.Labels, lab)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %v", err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteDataset serializes a discretized dataset. Format:
+//
+//	#classes <names...>
+//	#item <id> <geneIndex> <geneName> <lo> <hi>   (one per item)
+//	<className> <itemId> <itemId> ...             (one per row)
+func WriteDataset(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#classes %s\n", strings.Join(d.ClassNames, " "))
+	for i, it := range d.Items {
+		fmt.Fprintf(bw, "#item %d %d %s %g %g\n", i, it.Gene, it.GeneName, it.Lo, it.Hi)
+	}
+	for r, row := range d.Rows {
+		fmt.Fprintf(bw, "%s", d.ClassNames[d.Labels[r]])
+		for _, it := range row {
+			fmt.Fprintf(bw, "\t%d", it)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadDataset parses the discretized dataset format.
+func ReadDataset(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	d := &Dataset{}
+	classIdx := map[string]Label{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "//") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "#classes":
+			d.ClassNames = fields[1:]
+			for i, c := range d.ClassNames {
+				classIdx[c] = Label(i)
+			}
+		case "#item":
+			if len(fields) != 6 {
+				return nil, fmt.Errorf("dataset: line %d: #item needs 5 fields", line)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil || id != len(d.Items) {
+				return nil, fmt.Errorf("dataset: line %d: item ids must be dense ascending", line)
+			}
+			gene, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad gene index %q", line, fields[2])
+			}
+			lo, err := strconv.ParseFloat(fields[4], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad lo %q", line, fields[4])
+			}
+			hi, err := strconv.ParseFloat(fields[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad hi %q", line, fields[5])
+			}
+			d.Items = append(d.Items, Item{Gene: gene, GeneName: fields[3], Lo: lo, Hi: hi})
+		default:
+			lab, ok := classIdx[fields[0]]
+			if !ok {
+				return nil, fmt.Errorf("dataset: line %d: unknown class %q", line, fields[0])
+			}
+			row := make([]int, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				it, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("dataset: line %d: bad item id %q", line, f)
+				}
+				row = append(row, it)
+			}
+			d.Rows = append(d.Rows, row)
+			d.Labels = append(d.Labels, lab)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %v", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

@@ -1,0 +1,121 @@
+package dataset
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestMatrixRoundTrip(t *testing.T) {
+	m := &Matrix{
+		GeneNames:  []string{"g0", "g1"},
+		Values:     [][]float64{{1.5, -2}, {0.25, 1e6}},
+		Labels:     []Label{0, 1},
+		ClassNames: []string{"ALL", "AML"},
+	}
+	var sb strings.Builder
+	if err := WriteMatrix(&sb, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMatrix(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, m) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestReadMatrixCommentsAndBlankLines(t *testing.T) {
+	in := `
+// a comment
+#classes A B
+
+#genes g0
+A	1
+B	2
+`
+	m, err := ReadMatrix(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", m.NumRows())
+	}
+}
+
+func TestReadMatrixErrors(t *testing.T) {
+	cases := map[string]string{
+		"data before headers": "A 1 2\n",
+		"unknown class":       "#classes A B\n#genes g0\nZZ 1\n",
+		"wrong value count":   "#classes A B\n#genes g0 g1\nA 1\n",
+		"bad float":           "#classes A B\n#genes g0\nA xyz\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadMatrix(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDatasetRoundTrip(t *testing.T) {
+	d, _ := RunningExample()
+	var sb strings.Builder
+	if err := WriteDataset(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Rows, d.Rows) || !reflect.DeepEqual(got.Labels, d.Labels) {
+		t.Fatal("round trip rows/labels mismatch")
+	}
+	if len(got.Items) != len(d.Items) {
+		t.Fatalf("items = %d, want %d", len(got.Items), len(d.Items))
+	}
+	for i := range got.Items {
+		if got.Items[i] != d.Items[i] {
+			t.Fatalf("item %d mismatch: %+v vs %+v", i, got.Items[i], d.Items[i])
+		}
+	}
+}
+
+func TestDatasetRoundTripInfinities(t *testing.T) {
+	d := &Dataset{
+		Items: []Item{
+			{Gene: 0, GeneName: "g", Lo: math.Inf(-1), Hi: 5},
+			{Gene: 0, GeneName: "g", Lo: 5, Hi: math.Inf(1)},
+		},
+		Rows:       [][]int{{0}, {1}},
+		Labels:     []Label{0, 1},
+		ClassNames: []string{"C", "notC"},
+	}
+	var sb strings.Builder
+	if err := WriteDataset(&sb, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataset(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.Items[0].Lo, -1) || !math.IsInf(got.Items[1].Hi, 1) {
+		t.Fatalf("infinities not preserved: %+v", got.Items)
+	}
+}
+
+func TestReadDatasetErrors(t *testing.T) {
+	cases := map[string]string{
+		"non-dense item ids": "#classes A B\n#item 3 0 g 0 1\n",
+		"short item line":    "#classes A B\n#item 0 0 g\n",
+		"unknown class":      "#classes A B\n#item 0 0 g 0 1\nZZ 0\n",
+		"bad item ref":       "#classes A B\n#item 0 0 g 0 1\nA zz\n",
+		"out of range item":  "#classes A B\n#item 0 0 g 0 1\nA 5\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadDataset(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package discretize
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Write serializes the discretizer's cut points in a line-oriented
+// text format:
+//
+//	#classes <names...>
+//	<geneName> <cut> <cut> ...     (one line per gene; no cuts = dropped)
+func (dz *Discretizer) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "#classes %s\n", strings.Join(dz.ClassNames, " "))
+	for g, name := range dz.GeneNames {
+		fmt.Fprintf(bw, "%s", name)
+		for _, c := range dz.Cuts[g] {
+			fmt.Fprintf(bw, "\t%g", c)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Read parses a discretizer written by Write.
+func Read(r io.Reader) (*Discretizer, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	dz := &Discretizer{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "//") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "#classes" {
+			dz.ClassNames = fields[1:]
+			continue
+		}
+		dz.GeneNames = append(dz.GeneNames, fields[0])
+		var cuts []float64
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("discretize: line %d: bad cut %q: %v", line, f, err)
+			}
+			cuts = append(cuts, v)
+		}
+		for i := 1; i < len(cuts); i++ {
+			if cuts[i] <= cuts[i-1] {
+				return nil, fmt.Errorf("discretize: line %d: cuts not strictly ascending", line)
+			}
+		}
+		dz.Cuts = append(dz.Cuts, cuts)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("discretize: read: %v", err)
+	}
+	if len(dz.ClassNames) < 2 {
+		return nil, fmt.Errorf("discretize: missing or short #classes header")
+	}
+	if len(dz.GeneNames) == 0 {
+		return nil, fmt.Errorf("discretize: no genes")
+	}
+	dz.buildItems()
+	return dz, nil
+}

@@ -1,0 +1,155 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/rcbt"
+)
+
+// FoldResult is one cross-validation fold's outcome.
+type FoldResult struct {
+	Fold     int
+	Accuracy float64
+	TestRows int
+}
+
+// CVResult aggregates a cross-validation run.
+type CVResult struct {
+	Folds []FoldResult
+}
+
+// MeanAccuracy returns the row-weighted mean accuracy across folds.
+func (c *CVResult) MeanAccuracy() float64 {
+	correct, total := 0.0, 0
+	for _, f := range c.Folds {
+		correct += f.Accuracy * float64(f.TestRows)
+		total += f.TestRows
+	}
+	if total == 0 {
+		return 0
+	}
+	return correct / float64(total)
+}
+
+// Predictor classifies one sample (a gene-value row).
+type Predictor interface {
+	Predict(row []float64) dataset.Label
+}
+
+// TrainFunc builds a predictor from a training matrix.
+type TrainFunc func(train *dataset.Matrix) (Predictor, error)
+
+// CrossValidate runs stratified k-fold cross-validation of an arbitrary
+// matrix-based classifier. Rows are shuffled deterministically by seed
+// and assigned to folds per class, so every fold keeps the class ratio.
+func CrossValidate(m *dataset.Matrix, k int, seed int64, train TrainFunc) (*CVResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 2 {
+		return nil, fmt.Errorf("eval: need k >= 2 folds, got %d", k)
+	}
+	if k > m.NumRows() {
+		return nil, fmt.Errorf("eval: %d folds exceed %d rows", k, m.NumRows())
+	}
+
+	// Stratified fold assignment.
+	fold := make([]int, m.NumRows())
+	rng := rand.New(rand.NewSource(seed))
+	for cls := 0; cls < len(m.ClassNames); cls++ {
+		var rows []int
+		for r, l := range m.Labels {
+			if int(l) == cls {
+				rows = append(rows, r)
+			}
+		}
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		for i, r := range rows {
+			fold[r] = i % k
+		}
+	}
+
+	res := &CVResult{}
+	for f := 0; f < k; f++ {
+		var trainRows, testRows []int
+		for r := 0; r < m.NumRows(); r++ {
+			if fold[r] == f {
+				testRows = append(testRows, r)
+			} else {
+				trainRows = append(trainRows, r)
+			}
+		}
+		if len(testRows) == 0 {
+			continue
+		}
+		trainM := selectRows(m, trainRows)
+		pred, err := train(trainM)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fold %d: %v", f, err)
+		}
+		correct := 0
+		for _, r := range testRows {
+			if pred.Predict(m.Values[r]) == m.Labels[r] {
+				correct++
+			}
+		}
+		res.Folds = append(res.Folds, FoldResult{
+			Fold:     f,
+			Accuracy: float64(correct) / float64(len(testRows)),
+			TestRows: len(testRows),
+		})
+	}
+	return res, nil
+}
+
+// selectRows copies a row subset of a matrix.
+func selectRows(m *dataset.Matrix, rows []int) *dataset.Matrix {
+	out := &dataset.Matrix{
+		GeneNames:  m.GeneNames,
+		ClassNames: m.ClassNames,
+	}
+	for _, r := range rows {
+		out.Values = append(out.Values, m.Values[r])
+		out.Labels = append(out.Labels, m.Labels[r])
+	}
+	return out
+}
+
+// TrainRCBT returns a TrainFunc that fits entropy-MDL discretization
+// and an RCBT classifier on each fold's training matrix — the adapter
+// that lets the rule-based pipeline run under CrossValidate.
+func TrainRCBT(cfg rcbt.Config) TrainFunc {
+	return func(train *dataset.Matrix) (Predictor, error) {
+		dz, err := discretize.FitMatrix(train)
+		if err != nil {
+			return nil, err
+		}
+		dTrain, err := dz.Transform(train)
+		if err != nil {
+			return nil, err
+		}
+		c, err := rcbt.Train(dTrain, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &rcbtPredictor{dz: dz, c: c}, nil
+	}
+}
+
+type rcbtPredictor struct {
+	dz *discretize.Discretizer
+	c  *rcbt.Classifier
+}
+
+func (p *rcbtPredictor) Predict(row []float64) dataset.Label {
+	items := bitset.New(p.dz.NumItems())
+	for _, it := range p.dz.RowItems(row) {
+		items.Add(it)
+	}
+	label, _ := p.c.Predict(items)
+	return label
+}

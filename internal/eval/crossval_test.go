@@ -1,0 +1,131 @@
+package eval
+
+import (
+	"testing"
+
+	"repro/internal/c45"
+	"repro/internal/dataset"
+	"repro/internal/rcbt"
+	"repro/internal/synth"
+)
+
+func cvMatrix(t *testing.T) *dataset.Matrix {
+	t.Helper()
+	p := synth.Scaled(synth.ALL(), 100)
+	train, test, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pool train+test for a bigger CV population.
+	m := &dataset.Matrix{GeneNames: train.GeneNames, ClassNames: train.ClassNames}
+	m.Values = append(append(m.Values, train.Values...), test.Values...)
+	m.Labels = append(append(m.Labels, train.Labels...), test.Labels...)
+	return m
+}
+
+type treePredictor struct{ t *c45.Tree }
+
+func (p treePredictor) Predict(row []float64) dataset.Label { return p.t.Predict(row) }
+
+func TestCrossValidateTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation in -short mode")
+	}
+	m := cvMatrix(t)
+	res, err := CrossValidate(m, 4, 1, func(train *dataset.Matrix) (Predictor, error) {
+		tree, err := c45.TrainTree(train, c45.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		return treePredictor{tree}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Folds) != 4 {
+		t.Fatalf("folds = %d", len(res.Folds))
+	}
+	total := 0
+	for _, f := range res.Folds {
+		total += f.TestRows
+	}
+	if total != m.NumRows() {
+		t.Fatalf("folds cover %d rows, want %d", total, m.NumRows())
+	}
+	if acc := res.MeanAccuracy(); acc < 0.6 {
+		t.Fatalf("tree CV accuracy %.2f on separable data", acc)
+	}
+}
+
+func TestCrossValidateRCBT(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation in -short mode")
+	}
+	m := cvMatrix(t)
+	res, err := CrossValidate(m, 3, 7, TrainRCBT(rcbt.Config{
+		K: 2, NL: 3, MinsupFrac: 0.7, LBMaxLen: 4, LBMaxCandidates: 1 << 14,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := res.MeanAccuracy(); acc < 0.6 {
+		t.Fatalf("RCBT CV accuracy %.2f on separable data", acc)
+	}
+}
+
+func TestCrossValidateStratified(t *testing.T) {
+	// Every fold must contain both classes when the data allows it.
+	m := cvMatrix(t)
+	fold := make(map[int][]dataset.Label)
+	_, err := CrossValidate(m, 3, 2, func(train *dataset.Matrix) (Predictor, error) {
+		// Record class balance of the *training* complement per call.
+		counts := []int{0, 0}
+		for _, l := range train.Labels {
+			counts[int(l)]++
+		}
+		fold[len(fold)] = append([]dataset.Label{}, dataset.Label(counts[0]), dataset.Label(counts[1]))
+		return constPredictor(0), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for f, counts := range fold {
+		if counts[0] == 0 || counts[1] == 0 {
+			t.Fatalf("fold %d training set lost a class: %v", f, counts)
+		}
+	}
+}
+
+type constPredictor dataset.Label
+
+func (c constPredictor) Predict([]float64) dataset.Label { return dataset.Label(c) }
+
+func TestCrossValidateErrors(t *testing.T) {
+	m := cvMatrix(t)
+	if _, err := CrossValidate(m, 1, 0, nil); err == nil {
+		t.Fatal("k=1 must error")
+	}
+	if _, err := CrossValidate(m, m.NumRows()+1, 0, nil); err == nil {
+		t.Fatal("too many folds must error")
+	}
+	bad := &dataset.Matrix{GeneNames: []string{"g"}, ClassNames: []string{"a"}}
+	if _, err := CrossValidate(bad, 2, 0, nil); err == nil {
+		t.Fatal("invalid matrix must error")
+	}
+}
+
+func TestCrossValidateDeterministic(t *testing.T) {
+	m := cvMatrix(t)
+	run := func() float64 {
+		res, err := CrossValidate(m, 3, 42, func(train *dataset.Matrix) (Predictor, error) {
+			return constPredictor(0), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.MeanAccuracy()
+	}
+	if run() != run() {
+		t.Fatal("same seed must give identical folds")
+	}
+}

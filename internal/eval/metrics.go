@@ -1,0 +1,117 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dataset"
+)
+
+// Confusion is a square confusion matrix: Counts[t][p] = rows of true
+// class t predicted as class p.
+type Confusion struct {
+	ClassNames []string
+	Counts     [][]int
+}
+
+// NewConfusion tallies predictions against truth.
+func NewConfusion(classNames []string, truth, preds []dataset.Label) (*Confusion, error) {
+	if len(truth) != len(preds) {
+		return nil, fmt.Errorf("eval: %d truths vs %d predictions", len(truth), len(preds))
+	}
+	k := len(classNames)
+	c := &Confusion{ClassNames: append([]string(nil), classNames...)}
+	c.Counts = make([][]int, k)
+	for i := range c.Counts {
+		c.Counts[i] = make([]int, k)
+	}
+	for i := range truth {
+		t, p := int(truth[i]), int(preds[i])
+		if t < 0 || t >= k || p < 0 || p >= k {
+			return nil, fmt.Errorf("eval: label outside [0,%d) at row %d", k, i)
+		}
+		c.Counts[t][p]++
+	}
+	return c, nil
+}
+
+// Total returns the number of classified rows.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.Counts {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy returns the overall fraction correct (0 for empty input).
+func (c *Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.Counts {
+		correct += c.Counts[i][i]
+	}
+	return float64(correct) / float64(n)
+}
+
+// Recall returns class t's recall (sensitivity); 0 when the class is
+// absent from the truth.
+func (c *Confusion) Recall(t int) float64 {
+	total := 0
+	for _, v := range c.Counts[t] {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Counts[t][t]) / float64(total)
+}
+
+// Precision returns class p's precision; 0 when the class is never
+// predicted.
+func (c *Confusion) Precision(p int) float64 {
+	total := 0
+	for t := range c.Counts {
+		total += c.Counts[t][p]
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Counts[p][p]) / float64(total)
+}
+
+// BalancedAccuracy returns the mean per-class recall — the robust
+// summary for the imbalanced test splits of LC and PC.
+func (c *Confusion) BalancedAccuracy() float64 {
+	if len(c.Counts) == 0 {
+		return 0
+	}
+	s := 0.0
+	for t := range c.Counts {
+		s += c.Recall(t)
+	}
+	return s / float64(len(c.Counts))
+}
+
+// String renders the matrix with class names.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, n := range c.ClassNames {
+		fmt.Fprintf(&b, "%12s", "pred-"+n)
+	}
+	b.WriteByte('\n')
+	for t, row := range c.Counts {
+		fmt.Fprintf(&b, "%-12s", "true-"+c.ClassNames[t])
+		for _, v := range row {
+			fmt.Fprintf(&b, "%12d", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,78 @@
+package eval
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func mustConfusion(t *testing.T, truth, preds []dataset.Label) *Confusion {
+	t.Helper()
+	c, err := NewConfusion([]string{"pos", "neg"}, truth, preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestConfusionBasics(t *testing.T) {
+	truth := []dataset.Label{0, 0, 0, 1, 1}
+	preds := []dataset.Label{0, 0, 1, 1, 0}
+	c := mustConfusion(t, truth, preds)
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if got := c.Counts[0][0]; got != 2 {
+		t.Fatalf("TP = %d", got)
+	}
+	if got := c.Counts[0][1]; got != 1 {
+		t.Fatalf("FN(pos) = %d", got)
+	}
+	if math.Abs(c.Accuracy()-0.6) > 1e-12 {
+		t.Fatalf("Accuracy = %v", c.Accuracy())
+	}
+	if math.Abs(c.Recall(0)-2.0/3.0) > 1e-12 {
+		t.Fatalf("Recall(0) = %v", c.Recall(0))
+	}
+	if math.Abs(c.Precision(0)-2.0/3.0) > 1e-12 {
+		t.Fatalf("Precision(0) = %v", c.Precision(0))
+	}
+	wantBal := (2.0/3.0 + 0.5) / 2
+	if math.Abs(c.BalancedAccuracy()-wantBal) > 1e-12 {
+		t.Fatalf("BalancedAccuracy = %v, want %v", c.BalancedAccuracy(), wantBal)
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	// Class never predicted and class absent from truth.
+	c := mustConfusion(t, []dataset.Label{0, 0}, []dataset.Label{0, 0})
+	if c.Recall(1) != 0 || c.Precision(1) != 0 {
+		t.Fatal("absent class should have 0 recall/precision, not NaN")
+	}
+	empty, err := NewConfusion([]string{"a", "b"}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Accuracy() != 0 || empty.Total() != 0 {
+		t.Fatal("empty confusion should be all zeros")
+	}
+}
+
+func TestConfusionErrors(t *testing.T) {
+	if _, err := NewConfusion([]string{"a", "b"}, []dataset.Label{0}, nil); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := NewConfusion([]string{"a", "b"}, []dataset.Label{5}, []dataset.Label{0}); err == nil {
+		t.Fatal("out-of-range label must error")
+	}
+}
+
+func TestConfusionString(t *testing.T) {
+	c := mustConfusion(t, []dataset.Label{0, 1}, []dataset.Label{0, 1})
+	s := c.String()
+	if !strings.Contains(s, "true-pos") || !strings.Contains(s, "pred-neg") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,194 @@
+// Package hybrid implements the extension sketched in the paper's
+// Section 8: TopkRGS mining for datasets with many rows, by "utilizing
+// column-wise mining first, then switching to row-wise enumeration in
+// later levels to mine top-k covering rules in the partition formed by
+// column-wise mining, and finally aggregating the top-k covering rules
+// in all partitions".
+//
+// The column phase enumerates single frequent items. Each item i forms
+// a partition: the sub-dataset of the rows containing i. Every rule
+// group whose antecedent includes i lives entirely inside that
+// partition (its support set is a subset of R(i)), and every rule group
+// has a non-empty antecedent, so mining each partition with the
+// row-enumeration core and merging the per-row lists — deduplicating
+// groups rediscovered from several of their items — reconstructs the
+// exact global top-k covering rule groups. Partitions are independent
+// and bounded by |R(i)| rows, which is what makes the approach viable
+// when the whole table has too many rows for direct row enumeration
+// (or does not fit in memory: partitions can be processed one at a
+// time, as §8's disk-based variant suggests).
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+// Config controls hybrid mining.
+type Config struct {
+	// K and Minsup as in core.Config.
+	K      int
+	Minsup int
+	// MaxPartitionRows caps partitions: items supported by more rows
+	// than this are deferred to a single residual row-enumeration pass
+	// over the whole table restricted to those items (0 = no cap; all
+	// partitions are mined regardless of size).
+	MaxPartitionRows int
+}
+
+// Result mirrors core.Result.
+type Result struct {
+	PerRow     map[int][]*rules.Group
+	Groups     []*rules.Group
+	Partitions int // partitions mined in the column phase
+}
+
+// Mine discovers the top-k covering rule groups of class cls by
+// column-partitioned row enumeration.
+func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("hybrid: k must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Minsup < 1 {
+		return nil, fmt.Errorf("hybrid: minsup must be >= 1, got %d", cfg.Minsup)
+	}
+	if int(cls) < 0 || int(cls) >= d.NumClasses() {
+		return nil, fmt.Errorf("hybrid: class %d outside [0,%d)", cls, d.NumClasses())
+	}
+	pos := d.RowSet(cls)
+	if pos.Count() == 0 {
+		return nil, fmt.Errorf("hybrid: no rows of class %s", d.ClassNames[cls])
+	}
+
+	res := &Result{PerRow: map[int][]*rules.Group{}}
+	for r := 0; r < d.NumRows(); r++ {
+		if d.Labels[r] == cls {
+			res.PerRow[r] = nil
+		}
+	}
+
+	// Per-row accumulators merging partition results.
+	lists := map[int]*rules.TopKList{}
+	for r := range res.PerRow {
+		lists[r] = rules.NewTopKList(cfg.K)
+	}
+	// Global dedup: a group is rediscovered once per antecedent item
+	// whose partition is mined.
+	seen := map[string]bool{}
+
+	// Column phase: one partition per frequent item, deduplicated by
+	// support set (identical partitions yield identical groups).
+	partitionKeys := map[string]bool{}
+	for i := 0; i < d.NumItems(); i++ {
+		rows := d.ItemRows(i)
+		if rows.IntersectionCount(pos) < cfg.Minsup {
+			continue
+		}
+		if cfg.MaxPartitionRows > 0 && rows.Count() > cfg.MaxPartitionRows {
+			continue // handled by the residual pass below
+		}
+		key := rows.Key()
+		if partitionKeys[key] {
+			continue
+		}
+		partitionKeys[key] = true
+		res.Partitions++
+		if err := minePartition(d, cls, cfg, rows.Indices(), lists, seen); err != nil {
+			return nil, err
+		}
+	}
+
+	// Residual pass for items whose partitions exceeded the cap: mine
+	// the whole table restricted to those wide items (few in practice —
+	// near-universal items produce shallow enumerations).
+	if cfg.MaxPartitionRows > 0 {
+		wide, _ := d.FilterItems(func(i int) bool {
+			rows := d.ItemRows(i)
+			return rows.IntersectionCount(pos) >= cfg.Minsup && rows.Count() > cfg.MaxPartitionRows
+		})
+		if wide.NumItems() > 0 {
+			sub, err := core.Mine(wide, cls, core.DefaultConfig(cfg.Minsup, cfg.K))
+			if err != nil {
+				return nil, err
+			}
+			// Item ids in `wide` are renumbered; remap antecedents back.
+			_, newToOld := d.FilterItems(func(i int) bool {
+				rows := d.ItemRows(i)
+				return rows.IntersectionCount(pos) >= cfg.Minsup && rows.Count() > cfg.MaxPartitionRows
+			})
+			for _, g := range sub.Groups {
+				ant := make([]int, len(g.Antecedent))
+				for j, it := range g.Antecedent {
+					ant[j] = newToOld[it]
+				}
+				g.Antecedent = ant
+				// The closure over wide items only may not be globally
+				// closed; recompute the global closure.
+				g.Antecedent = d.CommonItems(g.Rows)
+				offer(d, g, lists, seen)
+			}
+		}
+	}
+
+	// Collect.
+	collected := map[*rules.Group]bool{}
+	for r, l := range lists {
+		gs := l.Groups()
+		out := make([]*rules.Group, len(gs))
+		copy(out, gs)
+		res.PerRow[r] = out
+		for _, g := range gs {
+			if !collected[g] {
+				collected[g] = true
+				res.Groups = append(res.Groups, g)
+			}
+		}
+	}
+	rules.SortGroups(res.Groups)
+	return res, nil
+}
+
+// minePartition runs the row-enumeration core on the sub-dataset of the
+// given rows and merges the discovered groups into the global lists.
+func minePartition(d *dataset.Dataset, cls dataset.Label, cfg Config, rows []int, lists map[int]*rules.TopKList, seen map[string]bool) error {
+	sub := d.Subset(rows)
+	res, err := core.Mine(sub, cls, core.DefaultConfig(cfg.Minsup, cfg.K))
+	if err != nil {
+		return err
+	}
+	for _, g := range res.Groups {
+		// Remap the support set to global row ids.
+		global := bitset.New(d.NumRows())
+		g.Rows.ForEach(func(localR int) bool {
+			global.Add(rows[localR])
+			return true
+		})
+		g.Rows = global
+		// The antecedent is exact: the partition's defining item i is in
+		// every partition row, so i ∈ I(X) for any X, which pins
+		// R_global(I(X)) inside the partition — partition-local support,
+		// confidence, and closure all equal their global values.
+		offer(d, g, lists, seen)
+	}
+	return nil
+}
+
+// offer inserts a group into the lists of the positive rows it covers,
+// deduplicating across partitions.
+func offer(d *dataset.Dataset, g *rules.Group, lists map[int]*rules.TopKList, seen map[string]bool) {
+	key := g.Key()
+	if seen[key] {
+		return
+	}
+	seen[key] = true
+	g.Rows.ForEach(func(r int) bool {
+		if l, ok := lists[r]; ok {
+			l.Consider(g)
+		}
+		return true
+	})
+}

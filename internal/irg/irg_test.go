@@ -1,0 +1,99 @@
+package irg
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestTrainOnRunningExample(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	cfg := DefaultConfig()
+	cfg.MinsupFrac = 0.5
+	cfg.Minconf = 0.5
+	c, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Rules) == 0 {
+		t.Fatal("classifier should have rules")
+	}
+	// IRG uses upper bounds: rules should be long (closed antecedents),
+	// e.g. abc for the C class.
+	long := false
+	for _, r := range c.Rules {
+		if len(r.Antecedent) >= 2 {
+			long = true
+		}
+	}
+	if !long {
+		t.Fatal("expected at least one multi-item upper-bound rule")
+	}
+	preds, _ := c.PredictDataset(d)
+	correct := 0
+	for r, p := range preds {
+		if p == d.Labels[r] {
+			correct++
+		}
+	}
+	if correct < 4 {
+		t.Fatalf("training accuracy %d/5 too low", correct)
+	}
+}
+
+func TestMinconfFilters(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	c, err := Train(d, Config{MinsupFrac: 0.5, Minconf: 1.0, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range c.Rules {
+		if r.Confidence < 1.0 {
+			t.Fatalf("rule with confidence %v passed a 1.0 threshold", r.Confidence)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	if _, err := Train(d, Config{MinsupFrac: 0, K: 1}); err == nil {
+		t.Fatal("MinsupFrac=0 must error")
+	}
+	if _, err := Train(d, Config{MinsupFrac: 0.5, K: 0}); err == nil {
+		t.Fatal("K=0 must error")
+	}
+}
+
+func TestDefaultHeavyOnUnseenRows(t *testing.T) {
+	// IRG's upper-bound rules are long closed itemsets; rows lacking any
+	// single antecedent item fall to the default class. Verify the
+	// counting plumbing on a crafted case.
+	d := &dataset.Dataset{
+		Items:      []dataset.Item{{GeneName: "a"}, {GeneName: "b"}, {GeneName: "c"}},
+		Rows:       [][]int{{0, 1}, {0, 1}, {2}, {2}},
+		Labels:     []dataset.Label{0, 0, 1, 1},
+		ClassNames: []string{"C", "notC"},
+	}
+	c, err := Train(d, Config{MinsupFrac: 0.5, Minconf: 0.8, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Test rows missing item 1 don't match the ab upper bound.
+	test := &dataset.Dataset{
+		Items:      d.Items,
+		Rows:       [][]int{{0}, {2}},
+		Labels:     []dataset.Label{0, 1},
+		ClassNames: d.ClassNames,
+	}
+	_, defaults := c.PredictDataset(test)
+	if defaults < 1 {
+		t.Fatalf("expected at least one default decision, got %d", defaults)
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.MinsupFrac != 0.7 || cfg.Minconf != 0.8 || cfg.K != 1 {
+		t.Fatalf("DefaultConfig = %+v", cfg)
+	}
+}

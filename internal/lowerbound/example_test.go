@@ -1,0 +1,29 @@
+package lowerbound_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/lowerbound"
+	"repro/internal/rules"
+)
+
+// ExampleFind reproduces the paper's Example 2.2: the rule group with
+// upper bound abc -> C has the two lower bounds a -> C and b -> C.
+func ExampleFind() {
+	d, idx := dataset.RunningExample()
+	sup := d.SupportSet([]int{idx["a"]})
+	g := &rules.Group{
+		Antecedent: d.CommonItems(sup), // closure of {a} = {a, b, c}
+		Class:      0,
+		Support:    2,
+		Confidence: 1,
+		Rows:       sup,
+	}
+	for _, lb := range lowerbound.Find(d, g, lowerbound.Config{NL: 5}) {
+		fmt.Println(lb.Render(d))
+	}
+	// Output:
+	// a[0,1) -> C (sup=2 conf=1.000)
+	// b[0,1) -> C (sup=2 conf=1.000)
+}

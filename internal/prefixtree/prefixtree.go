@@ -1,0 +1,209 @@
+// Package prefixtree implements the prefix-tree representation of
+// (projected) transposed tables from Section 4.2 / Figure 4. Each tuple
+// of the transposed table — the ascending row-id list of one item — is
+// inserted as a path; shared prefixes are stored once, so frequency
+// counting at an enumeration node touches each distinct prefix a single
+// time instead of once per item.
+//
+// The tree built by Build is immutable. A projected table TT|X is a
+// lightweight view: a set of subtree pointers into the base tree plus
+// the items whose tuples the projection has exhausted. Projection
+// collects pointers — it never copies nodes — mirroring the pointer
+// reassignment of the original FARMER+prefix implementation.
+package prefixtree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/transpose"
+)
+
+// Node is one prefix-tree node. Count is the number of tuples whose row
+// list passes through the node; Items lists the items whose tuples end
+// exactly here. Nodes are immutable after Build.
+type Node struct {
+	Row      int
+	Count    int
+	Items    []int
+	Children []*Node // sorted ascending by Row
+}
+
+func (n *Node) ensureChild(row int) *Node {
+	i := sort.Search(len(n.Children), func(i int) bool { return n.Children[i].Row >= row })
+	if i < len(n.Children) && n.Children[i].Row == row {
+		return n.Children[i]
+	}
+	c := &Node{Row: row}
+	n.Children = append(n.Children, nil)
+	copy(n.Children[i+1:], n.Children[i:])
+	n.Children[i] = c
+	return c
+}
+
+// Tree is a (projected) transposed table view over an immutable prefix
+// tree: the roots of the subtrees still in play, plus the Exhausted
+// items whose row lists were fully consumed by the projection path.
+type Tree struct {
+	NumRows   int
+	Exhausted []int
+	roots     []*Node
+	tuples    int // total tuples = paths through roots + exhausted
+}
+
+// Build constructs the prefix tree of a transposed table (TT|∅).
+func Build(t *transpose.Table) *Tree {
+	root := &Node{Row: -1}
+	tr := &Tree{NumRows: t.NumRows}
+	for _, tu := range t.Tuples {
+		tr.tuples++
+		if len(tu.Rows) == 0 {
+			tr.Exhausted = append(tr.Exhausted, tu.Item)
+			continue
+		}
+		n := root
+		for _, r := range tu.Rows {
+			n = n.ensureChild(r)
+			n.Count++
+		}
+		n.Items = append(n.Items, tu.Item)
+	}
+	tr.roots = root.Children
+	return tr
+}
+
+// TupleCount returns |I(X)|: the number of tuples of the represented
+// projected transposed table, including exhausted ones.
+func (tr *Tree) TupleCount() int { return tr.tuples }
+
+// Items returns I(X): every item whose tuple is represented, sorted.
+func (tr *Tree) Items() []int {
+	out := append([]int(nil), tr.Exhausted...)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		out = append(out, n.Items...)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range tr.roots {
+		walk(r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Analyze returns the view's items (unsorted) and per-row tuple
+// frequencies in a single traversal — the per-enumeration-node work of
+// the mining loop, fused so each distinct prefix is visited once.
+func (tr *Tree) Analyze() (items []int, freq []int) {
+	items = append(items, tr.Exhausted...)
+	freq = make([]int, tr.NumRows)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		freq[n.Row] += n.Count
+		items = append(items, n.Items...)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range tr.roots {
+		walk(r)
+	}
+	return items, freq
+}
+
+// Frequencies returns freq(r) for each row id: the number of tuples
+// containing r. This is the prefix tree's payoff — one pass over
+// distinct prefixes, not over items.
+func (tr *Tree) Frequencies() []int {
+	freq := make([]int, tr.NumRows)
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		freq[n.Row] += n.Count
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range tr.roots {
+		walk(r)
+	}
+	return freq
+}
+
+// Project returns the view for row r: tuples containing r, restricted
+// to rows after r. Items of tuples ending at r become the new view's
+// Exhausted set. No nodes are copied; the receiver is unchanged.
+func (tr *Tree) Project(r int) *Tree {
+	nt := &Tree{NumRows: tr.NumRows}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n.Row == r {
+			nt.tuples += n.Count
+			nt.Exhausted = append(nt.Exhausted, n.Items...)
+			nt.roots = append(nt.roots, n.Children...)
+			return
+		}
+		// Rows along a path ascend, so only subtrees rooted below r can
+		// still contain r.
+		if n.Row < r {
+			for _, c := range n.Children {
+				if c.Row <= r {
+					walk(c)
+				}
+			}
+		}
+	}
+	for _, root := range tr.roots {
+		walk(root)
+	}
+	return nt
+}
+
+// ProjectAll builds the views for every row in one traversal of the
+// current view — the header-table payoff of the prefix tree: each
+// distinct prefix is visited once, instead of once per candidate row as
+// with materialized projected tables. The returned slice is indexed by
+// row id; rows contained in no tuple have nil entries.
+func (tr *Tree) ProjectAll() []*Tree {
+	views := make([]*Tree, tr.NumRows)
+	at := func(row int) *Tree {
+		if views[row] == nil {
+			views[row] = &Tree{NumRows: tr.NumRows}
+		}
+		return views[row]
+	}
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		v := at(n.Row)
+		v.tuples += n.Count
+		v.Exhausted = append(v.Exhausted, n.Items...)
+		v.roots = append(v.roots, n.Children...)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, r := range tr.roots {
+		walk(r)
+	}
+	return views
+}
+
+// String renders the view for debugging, one node per line as
+// "row:count [items]".
+func (tr *Tree) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "tuples=%d exhausted=%v\n", tr.tuples, tr.Exhausted)
+	var walk func(n *Node, depth int)
+	walk = func(n *Node, depth int) {
+		fmt.Fprintf(&b, "%s%d:%d %v\n", strings.Repeat("  ", depth), n.Row, n.Count, n.Items)
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range tr.roots {
+		walk(r, 0)
+	}
+	return b.String()
+}

@@ -1,0 +1,283 @@
+package prefixtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataset"
+	"repro/internal/transpose"
+)
+
+func figure1Tree(t *testing.T) (*dataset.Dataset, map[string]int, *Tree) {
+	t.Helper()
+	d, idx := dataset.RunningExample()
+	return d, idx, Build(transpose.FromDataset(d))
+}
+
+func TestBuildCountsFigure4(t *testing.T) {
+	_, _, tr := figure1Tree(t)
+	if tr.TupleCount() != 10 {
+		t.Fatalf("tuples = %d, want 10", tr.TupleCount())
+	}
+	// Figure 4(a): the node "1" has count 5 (items a, b, c, d, e all
+	// start at row 1).
+	var n1 *Node
+	for _, r := range tr.roots {
+		if r.Row == 0 {
+			n1 = r
+		}
+	}
+	if n1 == nil || n1.Count != 5 {
+		t.Fatalf("node for r1 = %+v, want count 5", n1)
+	}
+	// Frequencies of the root table equal item-per-row counts.
+	want := []int{5, 5, 5, 5, 5}
+	if got := tr.Frequencies(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("root frequencies = %v, want %v", got, want)
+	}
+}
+
+func TestItemsSortedComplete(t *testing.T) {
+	_, _, tr := figure1Tree(t)
+	items := tr.Items()
+	if len(items) != 10 || !sort.IntsAreSorted(items) {
+		t.Fatalf("Items() = %v", items)
+	}
+}
+
+func TestProjectMatchesFlatProjection(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	flat := transpose.FromDataset(d)
+	tr := Build(flat)
+	for r := 0; r < d.NumRows(); r++ {
+		pf := flat.Project(r)
+		pt := tr.Project(r)
+		if got, want := pt.TupleCount(), len(pf.Tuples); got != want {
+			t.Fatalf("project %d: tuples = %d, want %d", r, got, want)
+		}
+		gotItems := pt.Items()
+		wantItems := pf.Items()
+		if !reflect.DeepEqual(gotItems, wantItems) {
+			t.Fatalf("project %d: items = %v, want %v", r, gotItems, wantItems)
+		}
+		// Frequencies must agree.
+		wantFreq := pf.Frequencies()
+		gotFreq := pt.Frequencies()
+		for row, c := range wantFreq {
+			if gotFreq[row] != c {
+				t.Fatalf("project %d: freq[%d] = %d, want %d", r, row, gotFreq[row], c)
+			}
+		}
+	}
+}
+
+func TestProjectChainFigure1d(t *testing.T) {
+	d, idx := dataset.RunningExample()
+	tr := Build(transpose.FromDataset(d))
+	p := tr.Project(0).Project(2) // TT|{r1,r3}
+	wantItems := []int{idx["c"], idx["d"], idx["e"]}
+	sort.Ints(wantItems)
+	if got := p.Items(); !reflect.DeepEqual(got, wantItems) {
+		t.Fatalf("I({1,3}) = %v, want %v", got, wantItems)
+	}
+	freq := p.Frequencies()
+	if freq[3] != 3 || freq[4] != 1 {
+		t.Fatalf("freq = %v", freq)
+	}
+	// Row 3 in every tuple → closure row (R(cde) ⊇ {r4}).
+	if freq[3] != p.TupleCount() {
+		t.Fatal("row 3 should appear in every tuple")
+	}
+}
+
+func TestExhaustedItems(t *testing.T) {
+	d, idx := dataset.RunningExample()
+	tr := Build(transpose.FromDataset(d))
+	p := tr.Project(0).Project(1) // TT|{r1,r2}: a,b exhausted; c continues
+	ex := append([]int(nil), p.Exhausted...)
+	sort.Ints(ex)
+	want := []int{idx["a"], idx["b"]}
+	sort.Ints(want)
+	if !reflect.DeepEqual(ex, want) {
+		t.Fatalf("exhausted = %v, want %v", ex, want)
+	}
+	if p.TupleCount() != 3 {
+		t.Fatalf("tuples = %d, want 3", p.TupleCount())
+	}
+	// With exhausted tuples present no row can reach full frequency.
+	for row, f := range p.Frequencies() {
+		if f == p.TupleCount() {
+			t.Fatalf("row %d reaches full frequency despite exhausted tuples", row)
+		}
+	}
+}
+
+func TestProjectOnAbsentRow(t *testing.T) {
+	_, _, tr := figure1Tree(t)
+	p := tr.Project(1).Project(2) // r2 then r3 share only item c? c={0,1,2,3}: contains both.
+	p2 := p.Project(4)            // c does not contain r5
+	if p2.TupleCount() != 0 || len(p2.Items()) != 0 {
+		t.Fatalf("projection on absent row should be empty: %d tuples", p2.TupleCount())
+	}
+}
+
+// randomTable builds a random dataset's transposed table.
+func randomTable(r *rand.Rand) *transpose.Table {
+	nRows := 2 + r.Intn(8)
+	nItems := 1 + r.Intn(12)
+	d := &dataset.Dataset{
+		ClassNames: []string{"C", "notC"},
+	}
+	for i := 0; i < nItems; i++ {
+		d.Items = append(d.Items, dataset.Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < nRows; row++ {
+		var items []int
+		for i := 0; i < nItems; i++ {
+			if r.Intn(2) == 0 {
+				items = append(items, i)
+			}
+		}
+		d.Rows = append(d.Rows, items)
+		d.Labels = append(d.Labels, dataset.Label(r.Intn(2)))
+	}
+	return transpose.FromDataset(d)
+}
+
+func TestQuickProjectionEquivalence(t *testing.T) {
+	// Property: for random datasets and random projection sequences, the
+	// prefix tree and the flat table agree on items, tuple counts, and
+	// frequencies.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		flat := randomTable(r)
+		tree := Build(flat)
+		cur := flat
+		curT := tree
+		last := -1
+		for step := 0; step < 4; step++ {
+			// pick a random row greater than last
+			row := last + 1 + r.Intn(8)
+			if row >= flat.NumRows {
+				break
+			}
+			cur = cur.Project(row)
+			curT = curT.Project(row)
+			last = row
+			if curT.TupleCount() != len(cur.Tuples) {
+				return false
+			}
+			gotItems, wantItems := curT.Items(), cur.Items()
+			if len(gotItems) != len(wantItems) {
+				return false
+			}
+			if len(gotItems) > 0 && !reflect.DeepEqual(gotItems, wantItems) {
+				return false
+			}
+			wantFreq := cur.Frequencies()
+			gotFreq := curT.Frequencies()
+			for rw := 0; rw < flat.NumRows; rw++ {
+				if gotFreq[rw] != wantFreq[rw] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	_, _, tr := figure1Tree(t)
+	if tr.String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestAnalyzeMatchesSeparateCalls(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		flat := randomTable(r)
+		tr := Build(flat)
+		// At the root and after one projection.
+		views := []*Tree{tr}
+		if flat.NumRows > 0 {
+			views = append(views, tr.Project(0))
+		}
+		for _, v := range views {
+			items, freq := v.Analyze()
+			sort.Ints(items)
+			wantItems := v.Items()
+			if !reflect.DeepEqual(items, wantItems) {
+				return false
+			}
+			if !reflect.DeepEqual(freq, v.Frequencies()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProjectAllMatchesProject(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		flat := randomTable(r)
+		tr := Build(flat)
+		views := tr.ProjectAll()
+		for row := 0; row < flat.NumRows; row++ {
+			direct := tr.Project(row)
+			v := views[row]
+			if v == nil {
+				if direct.TupleCount() != 0 {
+					return false
+				}
+				continue
+			}
+			if v.TupleCount() != direct.TupleCount() {
+				return false
+			}
+			gi, wi := v.Items(), direct.Items()
+			if len(gi) != len(wi) {
+				return false
+			}
+			if len(gi) > 0 && !reflect.DeepEqual(gi, wi) {
+				return false
+			}
+			if !reflect.DeepEqual(v.Frequencies(), direct.Frequencies()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildExhaustedTuples(t *testing.T) {
+	// A table tuple with an empty row list (as produced by projection of
+	// a flat table) lands in Exhausted at build time.
+	tt := &transpose.Table{
+		NumRows: 3,
+		Tuples: []transpose.Tuple{
+			{Item: 7, Rows: nil},
+			{Item: 8, Rows: []int{0, 2}},
+		},
+	}
+	tr := Build(tt)
+	if tr.TupleCount() != 2 {
+		t.Fatalf("tuples = %d", tr.TupleCount())
+	}
+	if len(tr.Exhausted) != 1 || tr.Exhausted[0] != 7 {
+		t.Fatalf("exhausted = %v", tr.Exhausted)
+	}
+}

@@ -1,0 +1,63 @@
+package rcbt
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+// persisted is the wire form of a Classifier (gob requires exported
+// fields; the in-memory type keeps its internals private).
+type persisted struct {
+	Subs       []persistedSub
+	Def        dataset.Label
+	ClassCount []int
+	NumClasses int
+}
+
+type persistedSub struct {
+	Rules []*rules.Rule
+	Norm  []float64
+}
+
+// Save serializes the classifier with encoding/gob. Rule row-support
+// bitsets are not part of the model and are not written.
+func (c *Classifier) Save(w io.Writer) error {
+	p := persisted{
+		Def:        c.def,
+		ClassCount: c.classCount,
+		NumClasses: c.numClasses,
+	}
+	for _, sub := range c.subs {
+		p.Subs = append(p.Subs, persistedSub{Rules: sub.rules, Norm: sub.norm})
+	}
+	return gob.NewEncoder(w).Encode(p)
+}
+
+// Load reads a classifier written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("rcbt: load: %v", err)
+	}
+	if p.NumClasses < 2 || len(p.ClassCount) != p.NumClasses {
+		return nil, fmt.Errorf("rcbt: load: malformed model (%d classes, %d counts)",
+			p.NumClasses, len(p.ClassCount))
+	}
+	c := &Classifier{
+		def:        p.Def,
+		classCount: p.ClassCount,
+		numClasses: p.NumClasses,
+	}
+	for _, sub := range p.Subs {
+		if len(sub.Norm) != p.NumClasses {
+			return nil, fmt.Errorf("rcbt: load: sub-classifier norm length %d != %d classes",
+				len(sub.Norm), p.NumClasses)
+		}
+		c.subs = append(c.subs, subClassifier{rules: sub.Rules, norm: sub.Norm})
+	}
+	return c, nil
+}

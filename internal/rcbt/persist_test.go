@@ -1,0 +1,43 @@
+package rcbt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	c, err := Train(d, Config{K: 2, NL: 3, MinsupFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumClassifiers() != c.NumClassifiers() || loaded.Default() != c.Default() {
+		t.Fatal("model shape changed across save/load")
+	}
+	// Predictions must be identical on every training row.
+	for r := 0; r < d.NumRows(); r++ {
+		items := d.RowItemSet(r)
+		l1, i1 := c.Predict(items)
+		l2, i2 := loaded.Predict(items)
+		if l1 != l2 || i1 != i2 {
+			t.Fatalf("row %d: prediction changed (%v,%d) vs (%v,%d)", r, l1, i1, l2, i2)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+		t.Fatal("garbage input must error")
+	}
+}

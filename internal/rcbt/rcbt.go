@@ -1,0 +1,243 @@
+// Package rcbt implements RCBT (Refined Classification Based on
+// TopkRGS, Section 5.2): a main classifier plus k-1 standby classifiers
+// built from the top-1..top-k covering rule groups, each classifying by
+// aggregating normalized voting scores S(γ) = conf·sup/d_c over all of
+// its matching rules, with the default class used only when no
+// classifier matches — addressing CBA's open default-class problem.
+package rcbt
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/cba"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/lowerbound"
+	"repro/internal/rules"
+)
+
+// Config controls RCBT training.
+type Config struct {
+	// K is the number of covering rule groups per row: one main
+	// classifier plus K-1 standby classifiers (paper: 10).
+	K int
+	// NL is the number of shortest lower-bound rules per rule group
+	// (paper: 20).
+	NL int
+	// MinsupFrac is the per-class relative minimum support (paper: 0.7).
+	MinsupFrac float64
+	// LBMaxLen / LBMaxCandidates bound the FindLB search (0 = defaults).
+	LBMaxLen        int
+	LBMaxCandidates int
+}
+
+// DefaultConfig mirrors the paper's RCBT setup (k=10, nl=20,
+// minsup=0.7).
+func DefaultConfig() Config { return Config{K: 10, NL: 20, MinsupFrac: 0.7} }
+
+// subClassifier is one of CL_1..CL_k: a coverage-selected rule list
+// with per-class score normalizers.
+type subClassifier struct {
+	rules []*rules.Rule
+	norm  []float64 // per class: sum of S(γ) over the classifier's rules
+}
+
+// Classifier is a trained RCBT model.
+type Classifier struct {
+	subs       []subClassifier
+	def        dataset.Label
+	classCount []int // training rows per class (the d_c of S(γ))
+	numClasses int
+}
+
+// Stats summarizes a batch prediction for the Section 6.2 analyses.
+type Stats struct {
+	// ByClassifier[j] = test rows decided by CL_{j+1}.
+	ByClassifier []int
+	// Defaults = test rows that fell through to the default class.
+	Defaults int
+}
+
+// Train builds an RCBT classifier from a discretized training dataset.
+func Train(d *dataset.Dataset, cfg Config) (*Classifier, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("rcbt: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.NL < 1 {
+		return nil, fmt.Errorf("rcbt: NL must be >= 1, got %d", cfg.NL)
+	}
+	if cfg.MinsupFrac <= 0 || cfg.MinsupFrac > 1 {
+		return nil, fmt.Errorf("rcbt: MinsupFrac %v outside (0,1]", cfg.MinsupFrac)
+	}
+
+	classCount := make([]int, d.NumClasses())
+	for _, l := range d.Labels {
+		classCount[int(l)]++
+	}
+
+	// Mine top-k covering rule groups per class.
+	perClass := make([]*core.Result, d.NumClasses())
+	for cls := 0; cls < d.NumClasses(); cls++ {
+		label := dataset.Label(cls)
+		if classCount[cls] == 0 {
+			continue
+		}
+		minsup := int(cfg.MinsupFrac * float64(classCount[cls]))
+		if float64(minsup) < cfg.MinsupFrac*float64(classCount[cls]) {
+			minsup++
+		}
+		if minsup < 1 {
+			minsup = 1
+		}
+		res, err := core.Mine(d, label, core.DefaultConfig(minsup, cfg.K))
+		if err != nil {
+			return nil, fmt.Errorf("rcbt: mining class %s: %v", d.ClassNames[cls], err)
+		}
+		perClass[cls] = res
+	}
+
+	c := &Classifier{
+		classCount: classCount,
+		numClasses: d.NumClasses(),
+	}
+	itemScores := lowerbound.DefaultItemScores(d)
+	lbCache := map[*rules.Group][]*rules.Rule{}
+	for j := 0; j < cfg.K; j++ {
+		// RG_j: groups appearing at rank j for at least one training row.
+		seen := map[*rules.Group]bool{}
+		var rg []*rules.Group
+		for _, res := range perClass {
+			if res == nil {
+				continue
+			}
+			for _, gs := range res.PerRow {
+				if j < len(gs) && !seen[gs[j]] {
+					seen[gs[j]] = true
+					rg = append(rg, gs[j])
+				}
+			}
+		}
+		if len(rg) == 0 {
+			continue
+		}
+		// Search lower bounds for the rank's uncached groups in parallel.
+		var missing []*rules.Group
+		for _, g := range rg {
+			if _, ok := lbCache[g]; !ok {
+				missing = append(missing, g)
+			}
+		}
+		if len(missing) > 0 {
+			found := lowerbound.FindAll(d, missing, lowerbound.Config{
+				NL:            cfg.NL,
+				MaxLen:        cfg.LBMaxLen,
+				MaxCandidates: cfg.LBMaxCandidates,
+				ItemScore:     itemScores,
+			})
+			for i, g := range missing {
+				lbCache[g] = found[i]
+			}
+		}
+		var pool []*rules.Rule
+		dedup := map[string]bool{}
+		for _, g := range rg {
+			for _, lb := range lbCache[g] {
+				key := fmt.Sprintf("%d|%v", lb.Class, lb.Antecedent)
+				if dedup[key] {
+					continue
+				}
+				dedup[key] = true
+				pool = append(pool, lb)
+			}
+		}
+		rules.SortCBA(pool)
+		// Section 5.2: sub-classifiers are pruned by coverage (Step 3)
+		// only, without CBA's error-minimizing truncation.
+		selected, def := cba.CoverageSelect(d, pool)
+		if j == 0 {
+			c.def = def // default class comes from the main classifier
+		}
+		if len(selected) == 0 {
+			continue
+		}
+		sub := subClassifier{rules: selected, norm: make([]float64, d.NumClasses())}
+		for _, r := range selected {
+			sub.norm[int(r.Class)] += score(r, classCount)
+		}
+		c.subs = append(c.subs, sub)
+	}
+	if len(c.subs) == 0 {
+		// Degenerate training set: fall back to majority class.
+		best, bestC := dataset.Label(0), -1
+		for cls, cnt := range classCount {
+			if cnt > bestC {
+				best, bestC = dataset.Label(cls), cnt
+			}
+		}
+		c.def = best
+	}
+	return c, nil
+}
+
+// score is S(γ) = conf · sup / d_c.
+func score(r *rules.Rule, classCount []int) float64 {
+	dc := classCount[int(r.Class)]
+	if dc == 0 {
+		return 0
+	}
+	return r.Confidence * float64(r.Support) / float64(dc)
+}
+
+// NumClassifiers returns how many sub-classifiers were built (main +
+// standby).
+func (c *Classifier) NumClassifiers() int { return len(c.subs) }
+
+// Default returns the default class.
+func (c *Classifier) Default() dataset.Label { return c.def }
+
+// Predict classifies one test row. classifierIdx is the 0-based index
+// of the sub-classifier that decided (the main classifier is 0), or -1
+// when the default class was used.
+func (c *Classifier) Predict(rowItems *bitset.Set) (label dataset.Label, classifierIdx int) {
+	for j, sub := range c.subs {
+		scores := make([]float64, c.numClasses)
+		matched := false
+		for _, r := range sub.rules {
+			if r.Matches(rowItems) {
+				matched = true
+				scores[int(r.Class)] += score(r, c.classCount)
+			}
+		}
+		if !matched {
+			continue
+		}
+		best, bestScore := 0, -1.0
+		for cls := range scores {
+			if sub.norm[cls] > 0 {
+				scores[cls] /= sub.norm[cls]
+			}
+			if scores[cls] > bestScore {
+				best, bestScore = cls, scores[cls]
+			}
+		}
+		return dataset.Label(best), j
+	}
+	return c.def, -1
+}
+
+// PredictDataset classifies every row of a discretized dataset.
+func (c *Classifier) PredictDataset(d *dataset.Dataset) ([]dataset.Label, Stats) {
+	stats := Stats{ByClassifier: make([]int, len(c.subs))}
+	out := make([]dataset.Label, d.NumRows())
+	for r := 0; r < d.NumRows(); r++ {
+		lab, idx := c.Predict(d.RowItemSet(r))
+		out[r] = lab
+		if idx < 0 {
+			stats.Defaults++
+		} else {
+			stats.ByClassifier[idx]++
+		}
+	}
+	return out, stats
+}

@@ -1,0 +1,236 @@
+package rcbt
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/rules"
+	"repro/internal/synth"
+)
+
+func TestTrainOnRunningExample(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	cfg := DefaultConfig()
+	cfg.K = 3
+	cfg.NL = 5
+	cfg.MinsupFrac = 0.5
+	c, err := Train(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClassifiers() < 1 {
+		t.Fatal("want at least the main classifier")
+	}
+	preds, stats := c.PredictDataset(d)
+	correct := 0
+	for r, p := range preds {
+		if p == d.Labels[r] {
+			correct++
+		}
+	}
+	if correct < 4 {
+		t.Fatalf("training accuracy %d/5 too low", correct)
+	}
+	total := stats.Defaults
+	for _, n := range stats.ByClassifier {
+		total += n
+	}
+	if total != d.NumRows() {
+		t.Fatalf("stats account for %d rows, want %d", total, d.NumRows())
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	if _, err := Train(d, Config{K: 0, NL: 1, MinsupFrac: 0.5}); err == nil {
+		t.Fatal("K=0 must error")
+	}
+	if _, err := Train(d, Config{K: 1, NL: 0, MinsupFrac: 0.5}); err == nil {
+		t.Fatal("NL=0 must error")
+	}
+	if _, err := Train(d, Config{K: 1, NL: 1, MinsupFrac: 0}); err == nil {
+		t.Fatal("MinsupFrac=0 must error")
+	}
+}
+
+func TestScoreFormula(t *testing.T) {
+	// S(γ) = conf · sup / d_c, in [0, 1].
+	c, _ := Train(func() *dataset.Dataset { d, _ := dataset.RunningExample(); return d }(),
+		Config{K: 1, NL: 1, MinsupFrac: 0.5})
+	for _, sub := range c.subs {
+		for _, r := range sub.rules {
+			s := score(r, c.classCount)
+			if s < 0 || s > 1 {
+				t.Fatalf("score %v outside [0,1]", s)
+			}
+		}
+	}
+}
+
+func TestStandbyClassifierUsed(t *testing.T) {
+	// Craft a test row covered only by the standby classifier's rules.
+	// Training: class C rows share items {0,1}; class notC rows share
+	// {2,3}. A test row containing only item 1 should miss main rules
+	// built on higher-ranked groups if those use item 0... since rule
+	// selection is data dependent, just verify the plumbing: predictions
+	// from all classifiers are consistent and stats sum correctly.
+	d := &dataset.Dataset{
+		Items: []dataset.Item{
+			{GeneName: "a"}, {GeneName: "b"}, {GeneName: "c"}, {GeneName: "d"},
+		},
+		Rows: [][]int{
+			{0, 1}, {0, 1}, {0, 1},
+			{2, 3}, {2, 3}, {2, 3},
+		},
+		Labels:     []dataset.Label{0, 0, 0, 1, 1, 1},
+		ClassNames: []string{"C", "notC"},
+	}
+	c, err := Train(d, Config{K: 2, NL: 3, MinsupFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A perfectly matching row classifies without default.
+	lab, idx := c.Predict(bitset.FromIndices(4, 0, 1))
+	if lab != 0 || idx < 0 {
+		t.Fatalf("row {0,1}: got (%v, %d)", lab, idx)
+	}
+	lab, idx = c.Predict(bitset.FromIndices(4, 2, 3))
+	if lab != 1 || idx < 0 {
+		t.Fatalf("row {2,3}: got (%v, %d)", lab, idx)
+	}
+	// An empty row falls to the default class.
+	_, idx = c.Predict(bitset.New(4))
+	if idx != -1 {
+		t.Fatal("empty row should use the default class")
+	}
+}
+
+func TestVotingAggregation(t *testing.T) {
+	// A row matching rules of both classes goes to the higher normalized
+	// score. Class C has a high-support perfect rule; notC a weak one.
+	d := &dataset.Dataset{
+		Items: []dataset.Item{{GeneName: "a"}, {GeneName: "b"}},
+		Rows: [][]int{
+			{0}, {0}, {0}, {0},
+			{1}, {1},
+		},
+		Labels:     []dataset.Label{0, 0, 0, 0, 1, 1},
+		ClassNames: []string{"C", "notC"},
+	}
+	c, err := Train(d, Config{K: 1, NL: 2, MinsupFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row with both items: matches a -> C (sup 4/4) and b -> notC (sup
+	// 2/2). Normalized scores tie at 1.0 each when each class has one
+	// rule; prediction must still be deterministic (first max wins).
+	lab, idx := c.Predict(bitset.FromIndices(2, 0, 1))
+	if idx < 0 {
+		t.Fatal("should be decided by a classifier, not default")
+	}
+	_ = lab
+}
+
+func TestEndToEndSyntheticAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("synthetic end-to-end in -short mode")
+	}
+	p := synth.Scaled(synth.ALL(), 40) // ~178 genes, 21 informative
+	train, test, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dz, err := discretize.FitMatrix(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTrain, err := dz.Transform(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTest, err := dz.Transform(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Train(dTrain, Config{K: 4, NL: 5, MinsupFrac: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds, _ := c.PredictDataset(dTest)
+	correct := 0
+	for r, pr := range preds {
+		if pr == dTest.Labels[r] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(dTest.NumRows())
+	if acc < 0.8 {
+		t.Fatalf("synthetic test accuracy %.2f < 0.8", acc)
+	}
+}
+
+func TestDefaultAccessors(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	c, err := Train(d, Config{K: 1, NL: 1, MinsupFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumClassifiers() < 1 {
+		t.Fatal("NumClassifiers")
+	}
+	_ = c.Default()
+}
+
+func TestTrainDegenerateNoRules(t *testing.T) {
+	// A dataset where no rule group reaches minsup: the classifier falls
+	// back to the majority class.
+	d := &dataset.Dataset{
+		Items:      []dataset.Item{{GeneName: "a"}, {GeneName: "b"}},
+		Rows:       [][]int{{0}, {1}, {0}, {}},
+		Labels:     []dataset.Label{0, 1, 1, 1},
+		ClassNames: []string{"C", "notC"},
+	}
+	c, err := Train(d, Config{K: 1, NL: 1, MinsupFrac: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Default() != 1 {
+		t.Fatalf("default = %v, want majority class notC", c.Default())
+	}
+	lab, idx := c.Predict(bitset.New(2))
+	if lab != 1 || idx >= c.NumClassifiers() {
+		t.Fatalf("prediction = (%v, %d)", lab, idx)
+	}
+}
+
+func TestScoreZeroClassCount(t *testing.T) {
+	if s := score(&rules.Rule{Class: 0, Support: 3, Confidence: 1}, []int{0, 5}); s != 0 {
+		t.Fatalf("score with empty class = %v, want 0", s)
+	}
+}
+
+func TestLoadRejectsMalformedModels(t *testing.T) {
+	// A structurally valid gob with inconsistent fields must be rejected.
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(persisted{NumClasses: 1, ClassCount: []int{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("single-class model must be rejected")
+	}
+	buf.Reset()
+	if err := gob.NewEncoder(&buf).Encode(persisted{
+		NumClasses: 2, ClassCount: []int{1, 1},
+		Subs: []persistedSub{{Norm: []float64{1}}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("norm-length mismatch must be rejected")
+	}
+}

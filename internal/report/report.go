@@ -1,0 +1,155 @@
+// Package report renders experiment series as ASCII charts, so the
+// benchrunner can show the *shape* of the paper's figures — log-scale
+// runtime curves for Figure 6, accuracy curves for Figure 7, and the
+// rank/frequency scatter of Figure 8 — directly in a terminal.
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named curve of (x, y) points.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one measurement; Censored marks lower-bound values (DNF
+// runs), rendered with a '^' marker.
+type Point struct {
+	X        float64
+	Y        float64
+	Censored bool
+}
+
+// LineChart renders series on a shared grid. When logY is set the y
+// axis is log10-scaled (non-positive values are clamped to the smallest
+// positive y). Each series gets a distinct marker; censored points use
+// '^' regardless.
+func LineChart(w io.Writer, title, xLabel, yLabel string, series []Series, width, height int, logY bool) {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 16
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+	// Gather ranges.
+	var xs, ys []float64
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs = append(xs, p.X)
+			if p.Y > 0 || !logY {
+				ys = append(ys, p.Y)
+			}
+		}
+	}
+	if len(xs) == 0 || len(ys) == 0 {
+		fmt.Fprintf(w, "%s: no data\n", title)
+		return
+	}
+	minX, maxX := minMax(xs)
+	minY, maxY := minMax(ys)
+	ty := func(y float64) float64 { return y }
+	if logY {
+		if minY <= 0 {
+			minY = 1e-9
+		}
+		ty = func(y float64) float64 {
+			if y < minY {
+				y = minY
+			}
+			return math.Log10(y)
+		}
+	}
+	loY, hiY := ty(minY), ty(maxY)
+	if hiY == loY {
+		hiY = loY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(width-1))
+		return clamp(c, 0, width-1)
+	}
+	rowOf := func(y float64) int {
+		r := int((ty(y) - loY) / (hiY - loY) * float64(height-1))
+		return clamp(height-1-r, 0, height-1)
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for _, p := range s.Points {
+			mk := m
+			if p.Censored {
+				mk = '^'
+			}
+			grid[rowOf(p.Y)][col(p.X)] = mk
+		}
+	}
+
+	fmt.Fprintf(w, "%s\n", title)
+	scale := ""
+	if logY {
+		scale = " (log scale)"
+	}
+	fmt.Fprintf(w, "y: %s%s, top=%.3g bottom=%.3g\n", yLabel, scale, maxY, minY)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", row)
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(w, "   x: %s, left=%.3g right=%.3g\n", xLabel, minX, maxX)
+	for si, s := range series {
+		marker := string(markers[si%len(markers)])
+		fmt.Fprintf(w, "   %s %s\n", marker, s.Name)
+	}
+	fmt.Fprintln(w, "   ^ budget-censored (DNF): true value lies above")
+}
+
+// Scatter renders a single unnamed point cloud (Figure 8's rank vs
+// frequency view).
+func Scatter(w io.Writer, title, xLabel, yLabel string, pts []Point, width, height int) {
+	LineChart(w, title, xLabel, yLabel, []Series{{Name: "genes", Points: pts}}, width, height, false)
+}
+
+// SortSeriesPoints orders each series by x for readable charts.
+func SortSeriesPoints(series []Series) {
+	for i := range series {
+		sort.Slice(series[i].Points, func(a, b int) bool {
+			return series[i].Points[a].X < series[i].Points[b].X
+		})
+	}
+}
+
+func minMax(xs []float64) (lo, hi float64) {
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,74 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLineChartRenders(t *testing.T) {
+	var sb strings.Builder
+	series := []Series{
+		{Name: "fast", Points: []Point{{X: 1, Y: 0.001}, {X: 2, Y: 0.002}}},
+		{Name: "slow", Points: []Point{{X: 1, Y: 1}, {X: 2, Y: 10, Censored: true}}},
+	}
+	LineChart(&sb, "runtime", "minsup", "seconds", series, 40, 10, true)
+	out := sb.String()
+	for _, want := range []string{"runtime", "log scale", "fast", "slow", "^", "*", "o", "minsup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// The slow series must render above the fast one: find rows.
+	lines := strings.Split(out, "\n")
+	rowOf := func(marker string) int {
+		for i, l := range lines {
+			if strings.HasPrefix(strings.TrimSpace(l), "|") && strings.Contains(l, marker) {
+				return i
+			}
+		}
+		return -1
+	}
+	if fast, slow := rowOf("*"), rowOf("o"); fast >= 0 && slow >= 0 && slow > fast {
+		t.Fatalf("slow series rendered below fast one (rows %d vs %d)", slow, fast)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	var sb strings.Builder
+	LineChart(&sb, "empty", "x", "y", nil, 40, 10, false)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("empty chart should say so")
+	}
+}
+
+func TestLineChartDegenerateRanges(t *testing.T) {
+	var sb strings.Builder
+	// Single point: equal min/max on both axes must not divide by zero.
+	LineChart(&sb, "single", "x", "y", []Series{
+		{Name: "s", Points: []Point{{X: 5, Y: 5}}},
+	}, 40, 10, true)
+	if !strings.Contains(sb.String(), "*") {
+		t.Fatal("single point should render")
+	}
+	// Non-positive y under log scale is clamped, not NaN.
+	var sb2 strings.Builder
+	LineChart(&sb2, "zeroes", "x", "y", []Series{
+		{Name: "s", Points: []Point{{X: 1, Y: 0}, {X: 2, Y: 3}}},
+	}, 40, 10, true)
+	if strings.Contains(sb2.String(), "NaN") {
+		t.Fatal("log chart produced NaN")
+	}
+}
+
+func TestScatterAndSort(t *testing.T) {
+	series := []Series{{Name: "s", Points: []Point{{X: 3, Y: 1}, {X: 1, Y: 2}}}}
+	SortSeriesPoints(series)
+	if series[0].Points[0].X != 1 {
+		t.Fatal("SortSeriesPoints should order by x")
+	}
+	var sb strings.Builder
+	Scatter(&sb, "sc", "rank", "freq", series[0].Points, 30, 8)
+	if !strings.Contains(sb.String(), "genes") {
+		t.Fatal("scatter legend missing")
+	}
+}

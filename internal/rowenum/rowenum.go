@@ -1,0 +1,257 @@
+// Package rowenum implements the depth-first row enumeration skeleton
+// shared by MineTopkRGS (internal/core) and the FARMER baseline
+// (internal/farmer): the search over the row enumeration tree of Figure
+// 2, with forward closure, backward (closedness) pruning, and visitor
+// hooks where each miner plugs in its own threshold logic.
+//
+// The engine works on a row-reordered view of the dataset: rows
+// 0..NumPos-1 carry the specified consequent class ("positive"), the
+// rest are negative — the class dominant order of Definition 3.1.
+// Item supports are bitsets over these reordered row ids, so closure is
+// a word-wise intersection and projection is a membership filter.
+package rowenum
+
+import (
+	"repro/internal/bitset"
+)
+
+// Stats counts the work performed by one enumeration run.
+type Stats struct {
+	Nodes            int // enumeration nodes entered
+	BackwardPruned   int // nodes cut by the closedness check (Step 7)
+	PrunedBeforeScan int // nodes cut by loose bounds (Step 9)
+	PrunedAfterScan  int // nodes cut by tight bounds (Step 11)
+	Groups           int // OnGroup invocations
+	MaxDepth         int
+	Aborted          bool // true when MaxNodes stopped the search early
+}
+
+// Threshold is the dynamic pruning threshold computed at a node (Step
+// 8): the weakest (confidence, support) pair a subtree must beat. The
+// engine holds it per node, so recursion into children — which compute
+// their own, tighter thresholds — cannot leak into sibling checks.
+type Threshold struct {
+	Conf float64
+	Sup  int
+}
+
+// Visitor receives enumeration events and owns all threshold logic.
+// Hooks are called in the Step order of Algorithm MineTopkRGS (Figure
+// 3), with the structural backward check folded into the engine.
+type Visitor interface {
+	// UpdateThresholds is Step 8: xPos are the positive rows already in
+	// X, candPos the positive candidate rows still enumerable below the
+	// node (a superset of the reachable R_p). Together they bound the
+	// rows that groups found in this subtree can cover (Lemma 3.2). The
+	// returned threshold is passed back into the pruning hooks for this
+	// node and its child-generation loop.
+	UpdateThresholds(xPos, candPos []int) Threshold
+	// PruneBeforeScan is Step 9: loose upper bounds computed without
+	// scanning the projected table. rp and rn are candidate counts
+	// inherited from the parent.
+	PruneBeforeScan(th Threshold, xp, xn, rp, rn int) bool
+	// PruneAfterScan is Step 11: tight upper bounds. mp is the number of
+	// positive candidates that survive the node's projection, rn the
+	// surviving negative candidates.
+	PruneAfterScan(th Threshold, xp, xn, mp, rn int) bool
+	// OnGroup is Steps 12-13: a closed rule group was identified. items
+	// is I(X) (sorted, aliased — copy to retain), rows is R(I(X)) (fresh,
+	// may be retained), xp/xn its class split, xPos the positive row ids.
+	OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []int)
+}
+
+// Engine runs the enumeration. Configure the fields, then call Run.
+type Engine struct {
+	NumRows  int           // total rows
+	NumPos   int           // rows 0..NumPos-1 are the consequent class
+	ItemRows []*bitset.Set // full support set per item id
+	Visitor  Visitor
+
+	// DisableBackward turns off the closedness check (ablation only:
+	// the same group is then reported once per generating row subset).
+	DisableBackward bool
+	// MaxNodes, when positive, aborts the search after that many nodes;
+	// Stats.Aborted reports the cutoff. Results seen so far remain valid
+	// but possibly incomplete.
+	MaxNodes int
+
+	stats Stats
+}
+
+// errAborted unwinds the recursion when the node budget is exhausted.
+type errAborted struct{}
+
+func (errAborted) Error() string { return "rowenum: node budget exhausted" }
+
+// Run enumerates starting from the given alive item list (the frequent
+// items, ascending) and returns work statistics.
+func (e *Engine) Run(items []int) Stats {
+	e.stats = Stats{}
+	if len(items) == 0 || e.NumRows == 0 {
+		return e.stats
+	}
+	cand := make([]int, e.NumRows)
+	for i := range cand {
+		cand[i] = i
+	}
+	x := bitset.New(e.NumRows)
+	func() {
+		defer func() {
+			if rec := recover(); rec != nil {
+				if _, ok := rec.(errAborted); ok {
+					e.stats.Aborted = true
+					return
+				}
+				panic(rec)
+			}
+		}()
+		e.enumerate(x, items, cand, 0, 0)
+	}()
+	return e.stats
+}
+
+// posSplit splits an ascending candidate list at NumPos.
+func (e *Engine) posSplit(cand []int) (pos, neg []int) {
+	i := 0
+	for i < len(cand) && cand[i] < e.NumPos {
+		i++
+	}
+	return cand[:i], cand[i:]
+}
+
+// enumerate visits the node whose pending row set is x (not yet closed),
+// with alive items, candidate rows cand (all ids >= minNext, ascending),
+// at the given depth.
+func (e *Engine) enumerate(x *bitset.Set, items []int, cand []int, minNext, depth int) {
+	e.stats.Nodes++
+	if e.MaxNodes > 0 && e.stats.Nodes > e.MaxNodes {
+		panic(errAborted{})
+	}
+	if depth > e.stats.MaxDepth {
+		e.stats.MaxDepth = depth
+	}
+
+	xp := x.CountBelow(e.NumPos)
+	xn := x.Count() - xp
+	candPos, candNeg := e.posSplit(cand)
+
+	// Step 8: dynamic thresholds over the rows this subtree can cover.
+	th := e.Visitor.UpdateThresholds(posIndices(x, e.NumPos), candPos)
+
+	// Step 9: loose bounds using inherited candidate counts.
+	if e.Visitor.PruneBeforeScan(th, xp, xn, len(candPos), len(candNeg)) {
+		e.stats.PrunedBeforeScan++
+		return
+	}
+
+	// Closure: R(I(X)) = ∩_{i ∈ I(X)} R(i).
+	closed := e.ItemRows[items[0]].Clone()
+	for _, it := range items[1:] {
+		closed.IntersectWith(e.ItemRows[it])
+	}
+
+	// Step 7: backward pruning — a row ordered before the enumeration
+	// point that is in R(I(X)) but not in X means this closed set was
+	// already reached under an earlier branch.
+	if !e.DisableBackward && closed.AnyBelow(minNext, x) {
+		e.stats.BackwardPruned++
+		return
+	}
+
+	// Step 10: forward closure — candidates inside R(I(X)) join X; the
+	// rest survive iff some tuple still contains them.
+	xp = closed.CountBelow(e.NumPos)
+	xn = closed.Count() - xp
+	survivors := cand[:0:0] // fresh slice, no aliasing of cand
+	mp := 0
+	for _, r := range cand {
+		if closed.Contains(r) {
+			continue
+		}
+		alive := false
+		for _, it := range items {
+			if e.ItemRows[it].Contains(r) {
+				alive = true
+				break
+			}
+		}
+		if alive {
+			survivors = append(survivors, r)
+			if r < e.NumPos {
+				mp++
+			}
+		}
+	}
+
+	// Step 11: tight bounds using surviving candidate counts, with the
+	// thresholds recomputed over the now-exact reachable row set
+	// (X_p of the closed set plus the surviving positive candidates —
+	// Lemma 3.2's maximal coverage). The post-scan threshold is at least
+	// as strong as the pre-scan one because the reachable set shrank.
+	xPosClosed := posIndices(closed, e.NumPos)
+	survPos := survivors[:0:0]
+	for _, r := range survivors {
+		if r < e.NumPos {
+			survPos = append(survPos, r)
+		}
+	}
+	th = e.Visitor.UpdateThresholds(xPosClosed, survPos)
+	if e.Visitor.PruneAfterScan(th, xp, xn, mp, len(survivors)-mp) {
+		e.stats.PrunedAfterScan++
+		return
+	}
+
+	// Steps 12-13: report the group at this node.
+	if xp > 0 {
+		e.stats.Groups++
+		e.Visitor.OnGroup(items, closed, xp, xn, xPosClosed)
+	}
+
+	// Step 14: descend into each surviving candidate in ORD order. Each
+	// child is first checked against the loose bounds using the
+	// thresholds already computed for this node (a superset of the
+	// child's reachable rows, so conservative): children that cannot
+	// contribute are skipped without paying a recursive call and a fresh
+	// threshold scan.
+	childItems := make([]int, 0, len(items))
+	posLeft := mp
+	for i, r := range survivors {
+		childXp, childXn := xp, xn
+		if r < e.NumPos {
+			posLeft--
+			childXp++
+		} else {
+			childXn++
+		}
+		negLeft := len(survivors) - i - 1 - posLeft
+		if e.Visitor.PruneBeforeScan(th, childXp, childXn, posLeft, negLeft) {
+			e.stats.PrunedBeforeScan++
+			continue
+		}
+		childItems = childItems[:0]
+		for _, it := range items {
+			if e.ItemRows[it].Contains(r) {
+				childItems = append(childItems, it)
+			}
+		}
+		if len(childItems) == 0 {
+			continue
+		}
+		childX := closed.Clone()
+		childX.Add(r)
+		e.enumerate(childX, childItems, survivors[i+1:], r+1, depth+1)
+	}
+}
+
+// posIndices returns the elements of s below limit, ascending.
+func posIndices(s *bitset.Set, limit int) []int {
+	out := make([]int, 0, s.CountBelow(limit))
+	s.ForEach(func(i int) bool {
+		if i >= limit {
+			return false
+		}
+		out = append(out, i)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,210 @@
+package rowenum
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+)
+
+// collector is a no-prune visitor that records every group.
+type collector struct {
+	groups []collected
+}
+
+type collected struct {
+	items []int
+	rows  []int
+	xp    int
+	xn    int
+}
+
+func (c *collector) UpdateThresholds(xPos, candPos []int) Threshold       { return Threshold{} }
+func (c *collector) PruneBeforeScan(_ Threshold, xp, xn, rp, rn int) bool { return false }
+func (c *collector) PruneAfterScan(_ Threshold, xp, xn, mp, rn int) bool  { return false }
+func (c *collector) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []int) {
+	c.groups = append(c.groups, collected{
+		items: append([]int(nil), items...),
+		rows:  rows.Indices(),
+		xp:    xp,
+		xn:    xn,
+	})
+}
+
+// engineFor builds an engine over the running example with identity row
+// order (already class dominant: rows 0-2 are class C).
+func engineFor(t *testing.T, v Visitor, disableBackward bool) (*Engine, []int) {
+	t.Helper()
+	d, _ := dataset.RunningExample()
+	itemRows := make([]*bitset.Set, d.NumItems())
+	items := make([]int, d.NumItems())
+	for i := 0; i < d.NumItems(); i++ {
+		itemRows[i] = d.ItemRows(i)
+		items[i] = i
+	}
+	return &Engine{
+		NumRows:         d.NumRows(),
+		NumPos:          3,
+		ItemRows:        itemRows,
+		Visitor:         v,
+		DisableBackward: disableBackward,
+	}, items
+}
+
+func TestEnumerationFindsAllClosedSets(t *testing.T) {
+	c := &collector{}
+	eng, items := engineFor(t, c, false)
+	stats := eng.Run(items)
+	if stats.Nodes == 0 {
+		t.Fatal("no nodes visited")
+	}
+	// Collect distinct closed row sets; compare against brute force over
+	// the dataset.
+	d, _ := dataset.RunningExample()
+	want := map[string]bool{}
+	for mask := 1; mask < 1<<5; mask++ {
+		rows := bitset.New(5)
+		for r := 0; r < 5; r++ {
+			if mask&(1<<r) != 0 {
+				rows.Add(r)
+			}
+		}
+		its := d.CommonItems(rows)
+		if len(its) == 0 {
+			continue
+		}
+		sup := d.SupportSet(its)
+		if sup.CountBelow(3) == 0 { // xp > 0 filter matches engine
+			continue
+		}
+		want[sup.Key()] = true
+	}
+	got := map[string]bool{}
+	for _, g := range c.groups {
+		s := bitset.New(5)
+		for _, r := range g.rows {
+			s.Add(r)
+		}
+		if got[s.Key()] {
+			t.Fatalf("closed set %v reported twice with backward pruning on", g.rows)
+		}
+		got[s.Key()] = true
+	}
+	if len(got) != len(want) {
+		t.Fatalf("found %d closed sets, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatal("missing closed set")
+		}
+	}
+}
+
+func TestDisableBackwardStillComplete(t *testing.T) {
+	on := &collector{}
+	engOn, items := engineFor(t, on, false)
+	statsOn := engOn.Run(items)
+
+	off := &collector{}
+	engOff, items2 := engineFor(t, off, true)
+	statsOff := engOff.Run(items2)
+
+	if statsOff.Nodes < statsOn.Nodes {
+		t.Fatalf("disabling backward pruning should not reduce nodes: %d < %d", statsOff.Nodes, statsOn.Nodes)
+	}
+	// The distinct closed sets must be identical.
+	distinct := func(gs []collected) map[string]bool {
+		m := map[string]bool{}
+		for _, g := range gs {
+			s := bitset.New(5)
+			for _, r := range g.rows {
+				s.Add(r)
+			}
+			m[s.Key()] = true
+		}
+		return m
+	}
+	a, b := distinct(on.groups), distinct(off.groups)
+	if len(a) != len(b) {
+		t.Fatalf("distinct closed sets differ: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestGroupRowConsistency(t *testing.T) {
+	// For every reported group: xp+xn == |rows|, items nonempty and
+	// sorted, rows = support set of items.
+	c := &collector{}
+	eng, items := engineFor(t, c, false)
+	eng.Run(items)
+	d, _ := dataset.RunningExample()
+	for _, g := range c.groups {
+		if g.xp+g.xn != len(g.rows) {
+			t.Fatalf("xp+xn=%d but |rows|=%d", g.xp+g.xn, len(g.rows))
+		}
+		if len(g.items) == 0 || !sort.IntsAreSorted(g.items) {
+			t.Fatalf("bad items %v", g.items)
+		}
+		sup := d.SupportSet(g.items).Indices()
+		got := append([]int(nil), g.rows...)
+		sort.Ints(got)
+		if len(sup) != len(got) {
+			t.Fatalf("rows %v != support %v of items %v", got, sup, g.items)
+		}
+		for i := range sup {
+			if sup[i] != got[i] {
+				t.Fatalf("rows %v != support %v", got, sup)
+			}
+		}
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	c := &collector{}
+	eng, _ := engineFor(t, c, false)
+	stats := eng.Run(nil)
+	if stats.Nodes != 0 || len(c.groups) != 0 {
+		t.Fatal("empty item list must do nothing")
+	}
+}
+
+// pruneAll prunes everything at the loose stage.
+type pruneAll struct{ collector }
+
+func (p *pruneAll) PruneBeforeScan(_ Threshold, xp, xn, rp, rn int) bool { return true }
+
+func TestPruneBeforeScanStopsDescent(t *testing.T) {
+	p := &pruneAll{}
+	eng, items := engineFor(t, p, false)
+	stats := eng.Run(items)
+	if stats.Nodes != 1 || stats.PrunedBeforeScan != 1 {
+		t.Fatalf("stats = %+v, want exactly the root pruned", stats)
+	}
+	if len(p.groups) != 0 {
+		t.Fatal("no groups should be reported")
+	}
+}
+
+func TestMaxNodesAborts(t *testing.T) {
+	c := &collector{}
+	eng, items := engineFor(t, c, false)
+	eng.MaxNodes = 2
+	stats := eng.Run(items)
+	if !stats.Aborted {
+		t.Fatal("tiny budget should abort")
+	}
+	if stats.Nodes > 3 {
+		t.Fatalf("nodes = %d, want <= 3", stats.Nodes)
+	}
+	if (errAborted{}).Error() == "" {
+		t.Fatal("errAborted must describe itself")
+	}
+}
+
+func TestEmptyUniverse(t *testing.T) {
+	c := &collector{}
+	eng := &Engine{NumRows: 0, NumPos: 0, Visitor: c}
+	if stats := eng.Run([]int{0}); stats.Nodes != 0 {
+		t.Fatal("zero-row engine must do nothing")
+	}
+}

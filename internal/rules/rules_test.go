@@ -1,0 +1,248 @@
+package rules
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+)
+
+func g(conf float64, sup int, ant ...int) *Group {
+	return &Group{Antecedent: ant, Support: sup, Confidence: conf}
+}
+
+func TestMoreSignificant(t *testing.T) {
+	cases := []struct {
+		a, b *Group
+		want bool
+	}{
+		{g(0.9, 2, 1), g(0.8, 5, 2), true},  // higher conf wins
+		{g(0.8, 5, 1), g(0.9, 2, 2), false}, // lower conf loses
+		{g(0.8, 5, 1), g(0.8, 3, 2), true},  // conf tie: higher sup
+		{g(0.8, 3, 1), g(0.8, 5, 2), false}, // conf tie: lower sup
+		{g(0.8, 3, 1), g(0.8, 3, 2), false}, // full tie: not more significant
+	}
+	for i, c := range cases {
+		if got := c.a.MoreSignificant(c.b); got != c.want {
+			t.Errorf("case %d: MoreSignificant = %v, want %v", i, got, c.want)
+		}
+	}
+	if !g(0.8, 3, 1).SameSignificance(g(0.8, 3, 9)) {
+		t.Fatal("equal (conf,sup) should be SameSignificance")
+	}
+}
+
+func TestRuleMatchesAndCovers(t *testing.T) {
+	row := bitset.FromIndices(10, 1, 3, 5)
+	r := &Rule{Antecedent: []int{1, 5}}
+	if !r.Matches(row) {
+		t.Fatal("rule {1,5} should match row {1,3,5}")
+	}
+	r2 := &Rule{Antecedent: []int{1, 2}}
+	if r2.Matches(row) {
+		t.Fatal("rule {1,2} should not match row {1,3,5}")
+	}
+	grp := &Group{Antecedent: []int{3}}
+	if !grp.Covers(row) {
+		t.Fatal("group {3} should cover row")
+	}
+	empty := &Rule{}
+	if !empty.Matches(row) {
+		t.Fatal("empty antecedent matches everything")
+	}
+}
+
+func TestCBALess(t *testing.T) {
+	hiConf := &Rule{Antecedent: []int{9}, Confidence: 0.9, Support: 1}
+	hiSup := &Rule{Antecedent: []int{1}, Confidence: 0.8, Support: 9}
+	short := &Rule{Antecedent: []int{5}, Confidence: 0.8, Support: 9}
+	long := &Rule{Antecedent: []int{2, 3}, Confidence: 0.8, Support: 9}
+	if !CBALess(hiConf, hiSup) {
+		t.Fatal("higher confidence precedes")
+	}
+	if !CBALess(hiSup, long) {
+		t.Fatal("equal conf, equal sup, 1 item precedes 2 items")
+	}
+	if !CBALess(short, long) {
+		t.Fatal("shorter precedes longer on full tie")
+	}
+	if !CBALess(&Rule{Antecedent: []int{1}, Confidence: 0.8, Support: 9}, short) {
+		t.Fatal("lexicographic tiebreak")
+	}
+	rs := []*Rule{long, short, hiSup, hiConf}
+	SortCBA(rs)
+	if rs[0] != hiConf {
+		t.Fatal("SortCBA should put highest confidence first")
+	}
+}
+
+func TestGroupLessTotalOrder(t *testing.T) {
+	// GroupLess must be a strict weak ordering; spot-check antisymmetry
+	// and transitivity on random groups.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		mk := func() *Group {
+			n := 1 + r.Intn(3)
+			ant := make([]int, n)
+			for i := range ant {
+				ant[i] = r.Intn(4)
+			}
+			sort.Ints(ant)
+			return &Group{Antecedent: ant, Confidence: float64(r.Intn(3)) / 2, Support: r.Intn(3)}
+		}
+		a, b, c := mk(), mk(), mk()
+		if GroupLess(a, b) && GroupLess(b, a) {
+			return false
+		}
+		if GroupLess(a, b) && GroupLess(b, c) && !GroupLess(a, c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKListBasics(t *testing.T) {
+	l := NewTopKList(2)
+	if c, s := l.Threshold(); c != 0 || s != 0 {
+		t.Fatal("empty list threshold should be (0,0)")
+	}
+	if !l.Qualifies(0.1, 1) {
+		t.Fatal("anything qualifies while not full")
+	}
+	l.Consider(g(0.5, 2, 1))
+	l.Consider(g(0.9, 3, 2))
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if l.Groups()[0].Confidence != 0.9 {
+		t.Fatal("most significant first")
+	}
+	if c, _ := l.Threshold(); c != 0.5 {
+		t.Fatalf("threshold conf = %v, want 0.5", c)
+	}
+	// A better group evicts the tail.
+	if !l.Consider(g(0.7, 1, 3)) {
+		t.Fatal("0.7 should enter over 0.5")
+	}
+	if c, _ := l.Threshold(); c != 0.7 {
+		t.Fatalf("threshold conf = %v, want 0.7", c)
+	}
+	// A group matching the tail exactly does not qualify.
+	if l.Consider(g(0.7, 1, 4)) {
+		t.Fatal("equal (conf,sup) must not displace the k-th group")
+	}
+	// Higher support at equal confidence qualifies.
+	if !l.Consider(g(0.7, 5, 5)) {
+		t.Fatal("higher support at equal confidence should enter")
+	}
+}
+
+func TestTopKListKOnePanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("k=0 should panic")
+		}
+	}()
+	NewTopKList(0)
+}
+
+func TestTopKListSortedInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(5)
+		l := NewTopKList(k)
+		for i := 0; i < 30; i++ {
+			l.Consider(g(float64(r.Intn(10))/10, r.Intn(10), i))
+		}
+		gs := l.Groups()
+		if len(gs) > k {
+			return false
+		}
+		for i := 1; i < len(gs); i++ {
+			if GroupLess(gs[i], gs[i-1]) {
+				return false // out of order
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopKListMatchesBruteForce(t *testing.T) {
+	// The list must retain exactly the k most significant groups (up to
+	// full (conf,sup) ties, where which tied group is kept is
+	// unspecified but the (conf,sup) multiset must match).
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 1 + r.Intn(4)
+		l := NewTopKList(k)
+		var all []*Group
+		for i := 0; i < 25; i++ {
+			grp := g(float64(r.Intn(5))/4, r.Intn(5), i)
+			all = append(all, grp)
+			l.Consider(grp)
+		}
+		sorted := append([]*Group(nil), all...)
+		SortGroups(sorted)
+		want := sorted
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := l.Groups()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Confidence != want[i].Confidence || got[i].Support != want[i].Support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplace(t *testing.T) {
+	l := NewTopKList(2)
+	l.Consider(g(0.5, 2, 1))
+	l.Replace(0, g(0.5, 2, 9))
+	if l.Groups()[0].Antecedent[0] != 9 {
+		t.Fatal("Replace should substitute in place")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Replace should panic")
+		}
+	}()
+	l.Replace(5, g(0.5, 2, 1))
+}
+
+func TestRenderAndKey(t *testing.T) {
+	d, idx := dataset.RunningExample()
+	r := &Rule{Antecedent: []int{idx["a"], idx["b"]}, Class: 0, Support: 2, Confidence: 1}
+	s := r.Render(d)
+	if s == "" {
+		t.Fatal("Render should produce output")
+	}
+	grp := &Group{Antecedent: []int{1, 2}, Class: 0, Support: 2, Confidence: 1}
+	grp2 := &Group{Antecedent: []int{1, 2}, Class: 1, Support: 2, Confidence: 1}
+	if grp.Key() == grp2.Key() {
+		t.Fatal("different classes must have different keys")
+	}
+	if grp.Key() != (&Group{Antecedent: []int{1, 2}, Class: 0}).Key() {
+		t.Fatal("key depends only on antecedent and class")
+	}
+	if r.Render(nil) == "" {
+		t.Fatal("Render without dataset should still work")
+	}
+}

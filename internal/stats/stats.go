@@ -1,0 +1,229 @@
+// Package stats provides the information-theoretic and statistical
+// scores the paper relies on: class entropy, information gain of binary
+// splits (used by entropy discretization, C4.5, and FindLB's item
+// ranking), and chi-square association (used by the Figure 8 gene-rank
+// analysis).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Entropy returns the Shannon entropy (base 2) of a label count vector.
+// Zero counts contribute nothing; an empty or all-zero vector has
+// entropy 0.
+func Entropy(counts []int) float64 {
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / float64(total)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// WeightedEntropy returns the class-count-weighted average entropy of a
+// partition, where parts[i] is the label count vector of block i.
+func WeightedEntropy(parts [][]int) float64 {
+	total := 0
+	for _, p := range parts {
+		for _, c := range p {
+			total += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, p := range parts {
+		n := 0
+		for _, c := range p {
+			n += c
+		}
+		if n == 0 {
+			continue
+		}
+		h += float64(n) / float64(total) * Entropy(p)
+	}
+	return h
+}
+
+// LabeledValue pairs one sample's value for a single gene with its class.
+type LabeledValue struct {
+	Value float64
+	Label int
+}
+
+// SortLabeledValues sorts in ascending Value order (stable on ties by
+// label so results are deterministic).
+func SortLabeledValues(vs []LabeledValue) {
+	sort.SliceStable(vs, func(i, j int) bool {
+		if vs[i].Value != vs[j].Value {
+			return vs[i].Value < vs[j].Value
+		}
+		return vs[i].Label < vs[j].Label
+	})
+}
+
+// BestBinarySplit finds the cut point of a sorted labeled sequence that
+// minimizes the weighted entropy of the induced two-block partition.
+// Candidate cuts are boundary midpoints between adjacent distinct values.
+// It returns the cut value, the information gain of the split, and ok =
+// false when no valid cut exists (all values identical or fewer than two
+// samples). vs must be sorted ascending by value.
+func BestBinarySplit(vs []LabeledValue, numClasses int) (cut float64, gain float64, ok bool) {
+	n := len(vs)
+	if n < 2 {
+		return 0, 0, false
+	}
+	totalCounts := make([]int, numClasses)
+	for _, v := range vs {
+		totalCounts[v.Label]++
+	}
+	baseH := Entropy(totalCounts)
+
+	leftCounts := make([]int, numClasses)
+	bestGain := math.Inf(-1)
+	bestCut := 0.0
+	found := false
+	for i := 0; i < n-1; i++ {
+		leftCounts[vs[i].Label]++
+		if vs[i].Value == vs[i+1].Value {
+			continue // not a boundary between distinct values
+		}
+		rightCounts := make([]int, numClasses)
+		for c := range rightCounts {
+			rightCounts[c] = totalCounts[c] - leftCounts[c]
+		}
+		w := float64(i+1)/float64(n)*Entropy(leftCounts) +
+			float64(n-i-1)/float64(n)*Entropy(rightCounts)
+		g := baseH - w
+		if g > bestGain {
+			bestGain = g
+			bestCut = (vs[i].Value + vs[i+1].Value) / 2
+			found = true
+		}
+	}
+	if !found {
+		return 0, 0, false
+	}
+	return bestCut, bestGain, true
+}
+
+// EntropyScore is the discriminant ability of a gene measured as the
+// information gain of its best binary split against the class labels —
+// the score [3] that FindLB uses to rank items. Higher is more
+// discriminant. A gene whose values cannot be split scores 0.
+func EntropyScore(values []float64, labels []int, numClasses int) float64 {
+	vs := make([]LabeledValue, len(values))
+	for i := range values {
+		vs[i] = LabeledValue{Value: values[i], Label: labels[i]}
+	}
+	SortLabeledValues(vs)
+	_, gain, ok := BestBinarySplit(vs, numClasses)
+	if !ok {
+		return 0
+	}
+	return gain
+}
+
+// ChiSquare returns the chi-square statistic of a contingency table
+// table[i][j] = count of (attribute value i, class j). Cells with zero
+// expected count contribute nothing.
+func ChiSquare(table [][]int) float64 {
+	if len(table) == 0 {
+		return 0
+	}
+	rows := len(table)
+	cols := len(table[0])
+	rowSum := make([]float64, rows)
+	colSum := make([]float64, cols)
+	total := 0.0
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			v := float64(table[i][j])
+			rowSum[i] += v
+			colSum[j] += v
+			total += v
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	chi := 0.0
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			exp := rowSum[i] * colSum[j] / total
+			if exp == 0 {
+				continue
+			}
+			d := float64(table[i][j]) - exp
+			chi += d * d / exp
+		}
+	}
+	return chi
+}
+
+// ChiSquareBinary returns the chi-square statistic of a presence/absence
+// attribute against a binary class, given the four cell counts:
+// a = present & positive, b = present & negative,
+// c = absent & positive, d = absent & negative.
+func ChiSquareBinary(a, b, c, d int) float64 {
+	return ChiSquare([][]int{{a, b}, {c, d}})
+}
+
+// Rank assigns dense ranks (1 = best) to scores sorted descending. Ties
+// share the smallest rank of the tied block. The returned slice is
+// parallel to scores.
+func Rank(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	ranks := make([]int, len(scores))
+	for pos, i := range idx {
+		if pos > 0 && scores[i] == scores[idx[pos-1]] {
+			ranks[i] = ranks[idx[pos-1]]
+		} else {
+			ranks[i] = pos + 1
+		}
+	}
+	return ranks
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(len(xs)))
+}

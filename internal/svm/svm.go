@@ -1,0 +1,271 @@
+// Package svm implements a binary support vector machine trained with
+// Platt's SMO algorithm (the simplified variant with full KKT pass
+// alternation), supporting the linear and polynomial kernels the paper
+// evaluates with SVM-light [15]. Gene expression samples are few
+// (tens to low hundreds), so the kernel matrix is precomputed.
+package svm
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+)
+
+// Kernel selects the kernel function.
+type Kernel int
+
+const (
+	// Linear is K(x,y) = <x,y>.
+	Linear Kernel = iota
+	// Poly is K(x,y) = (gamma*<x,y> + coef0)^degree.
+	Poly
+)
+
+// Config controls training.
+type Config struct {
+	C         float64 // soft-margin parameter (default 1)
+	Kernel    Kernel
+	Degree    int     // polynomial degree (default 3)
+	Gamma     float64 // polynomial scale (default 1/numGenes)
+	Coef0     float64 // polynomial offset (default 1)
+	Tol       float64 // KKT tolerance (default 1e-3)
+	MaxPasses int     // passes without change before stopping (default 5)
+	MaxIter   int     // hard iteration cap (default 10000)
+	Seed      int64
+	// Standardize z-scores each gene using training statistics
+	// (recommended: raw expression scales vary per gene).
+	Standardize bool
+}
+
+// DefaultConfig returns a linear SVM configuration.
+func DefaultConfig() Config {
+	return Config{C: 1, Kernel: Linear, Tol: 1e-3, MaxPasses: 5, MaxIter: 10000, Standardize: true}
+}
+
+func (c Config) withDefaults(numGenes int) Config {
+	if c.C == 0 {
+		c.C = 1
+	}
+	if c.Degree == 0 {
+		c.Degree = 3
+	}
+	if c.Gamma == 0 {
+		c.Gamma = 1 / math.Max(1, float64(numGenes))
+	}
+	if c.Coef0 == 0 && c.Kernel == Poly {
+		c.Coef0 = 1
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-3
+	}
+	if c.MaxPasses == 0 {
+		c.MaxPasses = 5
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 10000
+	}
+	return c
+}
+
+// Model is a trained binary SVM. Label 0 maps to +1, label 1 to -1.
+type Model struct {
+	cfg     Config
+	vectors [][]float64 // support vectors (standardized if configured)
+	ys      []float64   // ±1 labels of support vectors
+	alphas  []float64
+	b       float64
+	mean    []float64 // standardization statistics
+	std     []float64
+}
+
+// Train fits an SVM on a binary-class matrix.
+func Train(m *dataset.Matrix, cfg Config) (*Model, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(m.ClassNames) != 2 {
+		return nil, fmt.Errorf("svm: binary classification only, have %d classes", len(m.ClassNames))
+	}
+	n := m.NumRows()
+	if n < 2 {
+		return nil, fmt.Errorf("svm: need at least 2 samples, have %d", n)
+	}
+	cfg = cfg.withDefaults(m.NumGenes())
+
+	// Standardization statistics.
+	g := m.NumGenes()
+	mean := make([]float64, g)
+	std := make([]float64, g)
+	for j := 0; j < g; j++ {
+		std[j] = 1
+	}
+	if cfg.Standardize {
+		for j := 0; j < g; j++ {
+			s := 0.0
+			for i := 0; i < n; i++ {
+				s += m.Values[i][j]
+			}
+			mean[j] = s / float64(n)
+			v := 0.0
+			for i := 0; i < n; i++ {
+				d := m.Values[i][j] - mean[j]
+				v += d * d
+			}
+			sd := math.Sqrt(v / float64(n))
+			if sd < 1e-12 {
+				sd = 1
+			}
+			std[j] = sd
+		}
+	}
+	x := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		xi := make([]float64, g)
+		for j := 0; j < g; j++ {
+			xi[j] = (m.Values[i][j] - mean[j]) / std[j]
+		}
+		x[i] = xi
+	}
+	y := make([]float64, n)
+	for i, l := range m.Labels {
+		if l == 0 {
+			y[i] = 1
+		} else {
+			y[i] = -1
+		}
+	}
+
+	// Precompute the kernel matrix.
+	km := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		km[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := kernel(cfg, x[i], x[j])
+			km[i][j] = v
+			km[j][i] = v
+		}
+	}
+
+	alphas := make([]float64, n)
+	b := 0.0
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	f := func(i int) float64 {
+		s := 0.0
+		for j := 0; j < n; j++ {
+			if alphas[j] != 0 {
+				s += alphas[j] * y[j] * km[j][i]
+			}
+		}
+		return s + b
+	}
+
+	passes, iter := 0, 0
+	for passes < cfg.MaxPasses && iter < cfg.MaxIter {
+		iter++
+		changed := 0
+		for i := 0; i < n; i++ {
+			ei := f(i) - y[i]
+			if (y[i]*ei < -cfg.Tol && alphas[i] < cfg.C) || (y[i]*ei > cfg.Tol && alphas[i] > 0) {
+				j := rng.Intn(n - 1)
+				if j >= i {
+					j++
+				}
+				ej := f(j) - y[j]
+				ai, aj := alphas[i], alphas[j]
+				var lo, hi float64
+				if y[i] != y[j] {
+					lo = math.Max(0, aj-ai)
+					hi = math.Min(cfg.C, cfg.C+aj-ai)
+				} else {
+					lo = math.Max(0, ai+aj-cfg.C)
+					hi = math.Min(cfg.C, ai+aj)
+				}
+				if lo == hi {
+					continue
+				}
+				eta := 2*km[i][j] - km[i][i] - km[j][j]
+				if eta >= 0 {
+					continue
+				}
+				ajNew := aj - y[j]*(ei-ej)/eta
+				if ajNew > hi {
+					ajNew = hi
+				} else if ajNew < lo {
+					ajNew = lo
+				}
+				if math.Abs(ajNew-aj) < 1e-7 {
+					continue
+				}
+				aiNew := ai + y[i]*y[j]*(aj-ajNew)
+				b1 := b - ei - y[i]*(aiNew-ai)*km[i][i] - y[j]*(ajNew-aj)*km[i][j]
+				b2 := b - ej - y[i]*(aiNew-ai)*km[i][j] - y[j]*(ajNew-aj)*km[j][j]
+				switch {
+				case aiNew > 0 && aiNew < cfg.C:
+					b = b1
+				case ajNew > 0 && ajNew < cfg.C:
+					b = b2
+				default:
+					b = (b1 + b2) / 2
+				}
+				alphas[i], alphas[j] = aiNew, ajNew
+				changed++
+			}
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+
+	// Keep only support vectors.
+	model := &Model{cfg: cfg, b: b, mean: mean, std: std}
+	for i := 0; i < n; i++ {
+		if alphas[i] > 1e-9 {
+			model.vectors = append(model.vectors, x[i])
+			model.ys = append(model.ys, y[i])
+			model.alphas = append(model.alphas, alphas[i])
+		}
+	}
+	return model, nil
+}
+
+func kernel(cfg Config, a, b []float64) float64 {
+	dot := 0.0
+	for i := range a {
+		dot += a[i] * b[i]
+	}
+	switch cfg.Kernel {
+	case Poly:
+		return math.Pow(cfg.Gamma*dot+cfg.Coef0, float64(cfg.Degree))
+	default:
+		return dot
+	}
+}
+
+// Decision returns the raw decision value for a sample.
+func (m *Model) Decision(row []float64) float64 {
+	x := make([]float64, len(row))
+	for j := range row {
+		x[j] = (row[j] - m.mean[j]) / m.std[j]
+	}
+	s := m.b
+	for i, v := range m.vectors {
+		s += m.alphas[i] * m.ys[i] * kernel(m.cfg, v, x)
+	}
+	return s
+}
+
+// Predict classifies a sample: label 0 for positive decision values.
+func (m *Model) Predict(row []float64) dataset.Label {
+	if m.Decision(row) >= 0 {
+		return 0
+	}
+	return 1
+}
+
+// NumSupportVectors reports the size of the support set.
+func (m *Model) NumSupportVectors() int { return len(m.vectors) }

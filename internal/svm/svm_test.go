@@ -1,0 +1,206 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func sepMatrix(n int, seed int64, gap float64) *dataset.Matrix {
+	r := rand.New(rand.NewSource(seed))
+	m := &dataset.Matrix{
+		GeneNames:  []string{"g0", "g1", "g2"},
+		ClassNames: []string{"pos", "neg"},
+	}
+	for i := 0; i < n; i++ {
+		l := dataset.Label(i % 2)
+		shift := gap
+		if l == 1 {
+			shift = -gap
+		}
+		m.Values = append(m.Values, []float64{
+			shift + r.NormFloat64(), r.NormFloat64(), shift/2 + r.NormFloat64(),
+		})
+		m.Labels = append(m.Labels, l)
+	}
+	return m
+}
+
+func accuracy(model *Model, m *dataset.Matrix) float64 {
+	ok := 0
+	for i, row := range m.Values {
+		if model.Predict(row) == m.Labels[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(m.NumRows())
+}
+
+func TestLinearSeparable(t *testing.T) {
+	train := sepMatrix(40, 1, 3)
+	test := sepMatrix(40, 2, 3)
+	model, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(model, test); acc < 0.9 {
+		t.Fatalf("linear separable accuracy = %v", acc)
+	}
+	if model.NumSupportVectors() == 0 {
+		t.Fatal("no support vectors")
+	}
+}
+
+func TestPolyKernelOnRings(t *testing.T) {
+	// Inner cluster vs outer ring: not linearly separable; poly (deg 2+)
+	// should do markedly better than chance.
+	r := rand.New(rand.NewSource(3))
+	m := &dataset.Matrix{GeneNames: []string{"x", "y"}, ClassNames: []string{"in", "out"}}
+	for i := 0; i < 60; i++ {
+		var x, y float64
+		var l dataset.Label
+		if i%2 == 0 {
+			x, y = r.NormFloat64()*0.4, r.NormFloat64()*0.4
+			l = 0
+		} else {
+			ang := r.Float64() * 6.28318
+			rad := 3 + r.NormFloat64()*0.2
+			x, y = rad*math.Cos(ang), rad*math.Sin(ang)
+			l = 1
+		}
+		m.Values = append(m.Values, []float64{x, y})
+		m.Labels = append(m.Labels, l)
+	}
+	cfg := DefaultConfig()
+	cfg.Kernel = Poly
+	cfg.Degree = 2
+	cfg.Gamma = 1
+	cfg.Standardize = false
+	model, err := Train(m, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(model, m); acc < 0.9 {
+		t.Fatalf("poly ring accuracy = %v", acc)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	train := sepMatrix(30, 7, 2)
+	a, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	test := sepMatrix(20, 8, 2)
+	for _, row := range test.Values {
+		if a.Predict(row) != b.Predict(row) {
+			t.Fatal("same config+data must give identical predictions")
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	multi := &dataset.Matrix{
+		GeneNames:  []string{"g"},
+		Values:     [][]float64{{1}, {2}, {3}},
+		Labels:     []dataset.Label{0, 1, 2},
+		ClassNames: []string{"a", "b", "c"},
+	}
+	if _, err := Train(multi, DefaultConfig()); err == nil {
+		t.Fatal("3-class input must error")
+	}
+	tiny := &dataset.Matrix{
+		GeneNames:  []string{"g"},
+		Values:     [][]float64{{1}},
+		Labels:     []dataset.Label{0},
+		ClassNames: []string{"a", "b"},
+	}
+	if _, err := Train(tiny, DefaultConfig()); err == nil {
+		t.Fatal("single sample must error")
+	}
+}
+
+func TestStandardizationHandlesScales(t *testing.T) {
+	// One gene on a huge scale should not drown the informative one when
+	// standardizing.
+	r := rand.New(rand.NewSource(11))
+	m := &dataset.Matrix{GeneNames: []string{"inf", "big"}, ClassNames: []string{"pos", "neg"}}
+	for i := 0; i < 40; i++ {
+		l := dataset.Label(i % 2)
+		shift := 2.0
+		if l == 1 {
+			shift = -2.0
+		}
+		m.Values = append(m.Values, []float64{shift + r.NormFloat64(), 1e6 * r.NormFloat64()})
+		m.Labels = append(m.Labels, l)
+	}
+	model, err := Train(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc := accuracy(model, m); acc < 0.85 {
+		t.Fatalf("standardized accuracy = %v", acc)
+	}
+}
+
+func TestAlphasWithinBox(t *testing.T) {
+	// Every support vector's alpha must satisfy 0 < alpha <= C, and the
+	// KKT stationarity sum Σ alpha_i y_i ≈ 0 must hold.
+	train := sepMatrix(30, 21, 1.5)
+	cfg := DefaultConfig()
+	cfg.C = 2
+	model, err := Train(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for i, a := range model.alphas {
+		if a <= 0 || a > cfg.C+1e-9 {
+			t.Fatalf("alpha[%d] = %v outside (0, %v]", i, a, cfg.C)
+		}
+		sum += a * model.ys[i]
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Fatalf("sum alpha_i y_i = %v, want ~0", sum)
+	}
+}
+
+func TestDecisionSignMatchesPredict(t *testing.T) {
+	train := sepMatrix(30, 5, 2)
+	model, err := Train(train, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range train.Values {
+		d := model.Decision(row)
+		want := dataset.Label(1)
+		if d >= 0 {
+			want = 0
+		}
+		if model.Predict(row) != want {
+			t.Fatal("Predict must be the sign of Decision")
+		}
+	}
+}
+
+func TestDegenerateOneClassAfterSplit(t *testing.T) {
+	// All samples the same class: SMO has nothing to separate; the model
+	// should still train (empty support set) and predict something.
+	m := &dataset.Matrix{
+		GeneNames:  []string{"g"},
+		Values:     [][]float64{{1}, {2}, {3}},
+		Labels:     []dataset.Label{0, 0, 0},
+		ClassNames: []string{"a", "b"},
+	}
+	model, err := Train(m, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = model.Predict([]float64{1.5})
+}

@@ -1,0 +1,106 @@
+// Package transpose implements the transposed table TT and X-projected
+// transposed tables TT|X of Section 3: the representation on which row
+// enumeration operates. Each tuple of TT corresponds to one item of the
+// original table and lists the rows containing it.
+//
+// The materialized tables here are the reference ("naive FARMER")
+// engine and the golden model for tests; the production miner in
+// internal/core keeps the same structure implicitly as bitsets.
+package transpose
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Tuple is one row of a transposed table: the item it represents and
+// the ascending ids of original-table rows containing it.
+type Tuple struct {
+	Item int
+	Rows []int
+}
+
+// Table is a (possibly projected) transposed table.
+type Table struct {
+	Tuples  []Tuple
+	NumRows int // size of the row universe of the original table
+}
+
+// FromDataset builds TT|∅ from a discretized dataset. Items that occur
+// in no row are omitted (they would be empty tuples).
+func FromDataset(d *dataset.Dataset) *Table {
+	t := &Table{NumRows: d.NumRows()}
+	for i := range d.Items {
+		rows := d.ItemRows(i).Indices()
+		if len(rows) == 0 {
+			continue
+		}
+		t.Tuples = append(t.Tuples, Tuple{Item: i, Rows: rows})
+	}
+	return t
+}
+
+// Project returns TT|(X ∪ {r}) from TT|X per the definition in Section
+// 3: keep tuples containing r, and within each, keep only rows ordered
+// after r. The receiver must already be projected on all rows of X less
+// than r (projections compose left to right).
+//
+// The projected tuples are materialized copies — the cost model of the
+// original FARMER's explicitly constructed projected tables, which the
+// prefix tree representation (internal/prefixtree) avoids.
+func (t *Table) Project(r int) *Table {
+	p := &Table{NumRows: t.NumRows}
+	for _, tu := range t.Tuples {
+		i := sort.SearchInts(tu.Rows, r)
+		if i == len(tu.Rows) || tu.Rows[i] != r {
+			continue
+		}
+		p.Tuples = append(p.Tuples, Tuple{Item: tu.Item, Rows: append([]int(nil), tu.Rows[i+1:]...)})
+	}
+	return p
+}
+
+// ProjectSet projects TT|∅ on an ascending row set X, composing
+// single-row projections.
+func (t *Table) ProjectSet(x []int) *Table {
+	cur := t
+	for _, r := range x {
+		cur = cur.Project(r)
+	}
+	return cur
+}
+
+// Items returns the item ids of the table's tuples: I(X) for TT|X.
+func (t *Table) Items() []int {
+	out := make([]int, len(t.Tuples))
+	for i, tu := range t.Tuples {
+		out[i] = tu.Item
+	}
+	return out
+}
+
+// Frequencies returns freq(r) for every row: the number of tuples of
+// the table containing r (Step 10 of MineTopkRGS).
+func (t *Table) Frequencies() map[int]int {
+	f := make(map[int]int)
+	for _, tu := range t.Tuples {
+		for _, r := range tu.Rows {
+			f[r]++
+		}
+	}
+	return f
+}
+
+// FullRows returns the rows appearing in every tuple of the table: the
+// rows that join X by forward closure (or trigger backward pruning).
+func (t *Table) FullRows() []int {
+	var out []int
+	for r, c := range t.Frequencies() {
+		if c == len(t.Tuples) {
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

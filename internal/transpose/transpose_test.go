@@ -1,0 +1,144 @@
+package transpose
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// figure1 returns the running example plus its name->id map.
+func figure1(t *testing.T) (*dataset.Dataset, map[string]int, *Table) {
+	t.Helper()
+	d, idx := dataset.RunningExample()
+	return d, idx, FromDataset(d)
+}
+
+func rowsOf(tt *Table, item int) []int {
+	for _, tu := range tt.Tuples {
+		if tu.Item == item {
+			return tu.Rows
+		}
+	}
+	return nil
+}
+
+func TestFromDatasetMatchesFigure1b(t *testing.T) {
+	_, idx, tt := figure1(t)
+	if len(tt.Tuples) != 10 {
+		t.Fatalf("TT has %d tuples, want 10", len(tt.Tuples))
+	}
+	want := map[string][]int{
+		"a": {0, 1}, "b": {0, 1}, "c": {0, 1, 2, 3}, "d": {0, 2, 3},
+		"e": {0, 2, 3, 4}, "f": {2, 3, 4}, "g": {2, 3, 4}, "h": {4},
+		"o": {1, 4}, "p": {1},
+	}
+	for name, rows := range want {
+		if got := rowsOf(tt, idx[name]); !reflect.DeepEqual(got, rows) {
+			t.Errorf("TT tuple %s = %v, want %v", name, got, rows)
+		}
+	}
+}
+
+func TestProjectMatchesFigure1c(t *testing.T) {
+	// TT|{1} (0-indexed: project on row 0): tuples a,b,c,d,e with rows
+	// after r1. Figure 1(c): a:{2} b:{2} c:{2,3,4} d:{3,4} e:{3,4,5}
+	// (1-indexed).
+	_, idx, tt := figure1(t)
+	p := tt.Project(0)
+	want := map[string][]int{
+		"a": {1}, "b": {1}, "c": {1, 2, 3}, "d": {2, 3}, "e": {2, 3, 4},
+	}
+	if len(p.Tuples) != len(want) {
+		t.Fatalf("TT|1 has %d tuples, want %d", len(p.Tuples), len(want))
+	}
+	for name, rows := range want {
+		if got := rowsOf(p, idx[name]); !reflect.DeepEqual(got, rows) {
+			t.Errorf("TT|1 tuple %s = %v, want %v", name, got, rows)
+		}
+	}
+}
+
+func TestProjectSetMatchesFigure1d(t *testing.T) {
+	// TT|{1,3} (0-indexed {0,2}): Figure 1(d): c:{4} d:{4} e:{4,5}.
+	_, idx, tt := figure1(t)
+	p := tt.ProjectSet([]int{0, 2})
+	want := map[string][]int{"c": {3}, "d": {3}, "e": {3, 4}}
+	if len(p.Tuples) != len(want) {
+		t.Fatalf("TT|13 has %d tuples, want %d", len(p.Tuples), len(want))
+	}
+	for name, rows := range want {
+		if got := rowsOf(p, idx[name]); !reflect.DeepEqual(got, rows) {
+			t.Errorf("TT|13 tuple %s = %v, want %v", name, got, rows)
+		}
+	}
+	items := p.Items()
+	wantItems := []int{idx["c"], idx["d"], idx["e"]}
+	sort.Ints(wantItems)
+	if !reflect.DeepEqual(items, wantItems) {
+		t.Errorf("I({1,3}) = %v, want %v", items, wantItems)
+	}
+}
+
+func TestProjectIncrementalEqualsDirect(t *testing.T) {
+	// Projection composes: projecting TT on 0 then 2 equals ProjectSet.
+	_, _, tt := figure1(t)
+	step := tt.Project(0).Project(2)
+	direct := tt.ProjectSet([]int{0, 2})
+	if !reflect.DeepEqual(step, direct) {
+		t.Fatal("stepwise and direct projection disagree")
+	}
+}
+
+func TestFrequenciesAndFullRows(t *testing.T) {
+	_, _, tt := figure1(t)
+	p := tt.ProjectSet([]int{0, 2}) // tuples c:{3} d:{3} e:{3,4}
+	f := p.Frequencies()
+	if f[3] != 3 || f[4] != 1 {
+		t.Fatalf("frequencies = %v", f)
+	}
+	// Row 3 occurs in all 3 tuples: it is a full row (closure of {0,2}
+	// is {0,2,3} — R(cde) = {r1,r3,r4}).
+	if got := p.FullRows(); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("FullRows = %v, want [3]", got)
+	}
+}
+
+func TestProjectExhaustedTuples(t *testing.T) {
+	_, idx, tt := figure1(t)
+	p := tt.ProjectSet([]int{0, 1}) // TT|{r1,r2}: tuples a, b, c
+	if len(p.Tuples) != 3 {
+		t.Fatalf("TT|12 tuples = %d, want 3 (a, b, c)", len(p.Tuples))
+	}
+	// a and b are exhausted (no rows after r2); c keeps {r3, r4}.
+	if got := rowsOf(p, idx["a"]); len(got) != 0 {
+		t.Fatalf("tuple a suffix = %v, want empty", got)
+	}
+	if got := rowsOf(p, idx["b"]); len(got) != 0 {
+		t.Fatalf("tuple b suffix = %v, want empty", got)
+	}
+	if got := rowsOf(p, idx["c"]); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("tuple c suffix = %v, want [2 3]", got)
+	}
+	// Projecting on a row absent from every tuple yields an empty table.
+	if got := p.Project(4); len(got.Tuples) != 0 {
+		t.Fatalf("projection on absent row should be empty, got %d tuples", len(got.Tuples))
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d := &dataset.Dataset{
+		Items:      []dataset.Item{{GeneName: "x"}},
+		Rows:       [][]int{{}, {}},
+		Labels:     []dataset.Label{0, 1},
+		ClassNames: []string{"C", "notC"},
+	}
+	tt := FromDataset(d)
+	if len(tt.Tuples) != 0 {
+		t.Fatalf("item with no rows must be omitted, got %d tuples", len(tt.Tuples))
+	}
+	if got := tt.FullRows(); len(got) != 0 {
+		t.Fatalf("FullRows of empty table = %v", got)
+	}
+}

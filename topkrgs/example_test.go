@@ -1,0 +1,32 @@
+package topkrgs_test
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/topkrgs"
+)
+
+// Example mines the paper's running example through the public facade
+// and classifies its rows with RCBT.
+func Example() {
+	d, _ := dataset.RunningExample()
+
+	res, err := topkrgs.Mine(d, 0, 2, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("top-1 group of r1:", res.PerRow[0][0].Render(d))
+
+	cfg := topkrgs.DefaultRCBTConfig()
+	cfg.K, cfg.NL, cfg.MinsupFrac = 2, 3, 0.5
+	clf, err := topkrgs.TrainRCBT(d, cfg)
+	if err != nil {
+		panic(err)
+	}
+	label, _ := clf.Predict(d.RowItemSet(0))
+	fmt.Println("r1 classified as:", d.ClassNames[label])
+	// Output:
+	// top-1 group of r1: a[0,1) b[0,1) c[0,1) -> C (sup=2 conf=1.000)
+	// r1 classified as: C
+}

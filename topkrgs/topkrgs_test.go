@@ -1,0 +1,122 @@
+package topkrgs_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/synth"
+	"repro/topkrgs"
+)
+
+// TestFacadePipeline drives the whole public API end to end: generate,
+// serialize, parse, discretize, mine, derive lower bounds, train both
+// classifiers, persist and reload them.
+func TestFacadePipeline(t *testing.T) {
+	p := synth.Scaled(synth.ALL(), 80)
+	trainM, testM, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Matrix text round trip through the facade.
+	var buf bytes.Buffer
+	if err := topkrgs.WriteMatrix(&buf, trainM); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := topkrgs.ReadMatrix(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.NumRows() != trainM.NumRows() {
+		t.Fatal("matrix round trip lost rows")
+	}
+
+	// Discretize, persist the discretizer, reload it.
+	dz, err := topkrgs.Discretize(trainM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dzBuf bytes.Buffer
+	if err := dz.Write(&dzBuf); err != nil {
+		t.Fatal(err)
+	}
+	dz2, err := topkrgs.LoadDiscretizer(&dzBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := dz2.Transform(trainM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := dz2.Transform(testM)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mine and inspect rule groups.
+	minsup := train.ClassCount(0) * 7 / 10
+	res, err := topkrgs.Mine(train, 0, minsup, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) == 0 {
+		t.Fatal("no rule groups mined")
+	}
+	lbs := topkrgs.LowerBounds(train, res.Groups[0], 5)
+	if len(lbs) == 0 {
+		t.Fatal("no lower bounds found")
+	}
+	if s := res.Groups[0].Render(train); !strings.Contains(s, "->") {
+		t.Fatalf("Render = %q", s)
+	}
+
+	// RCBT train, persist, reload, predict.
+	cfg := topkrgs.DefaultRCBTConfig()
+	cfg.K, cfg.NL = 3, 5
+	clf, err := topkrgs.TrainRCBT(train, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var model bytes.Buffer
+	if err := clf.Save(&model); err != nil {
+		t.Fatal(err)
+	}
+	clf2, err := topkrgs.LoadRCBT(&model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for r := 0; r < test.NumRows(); r++ {
+		lab, _ := clf2.Predict(test.RowItemSet(r))
+		if lab == test.Labels[r] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.NumRows()); acc < 0.7 {
+		t.Fatalf("facade RCBT accuracy %.2f", acc)
+	}
+
+	// CBA via the facade.
+	cbaCfg := topkrgs.DefaultCBAConfig()
+	cbaClf, err := topkrgs.TrainCBA(train, cbaCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cbaBuf bytes.Buffer
+	if err := cbaClf.Save(&cbaBuf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topkrgs.LoadCBA(&cbaBuf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupFromItemsFacade(t *testing.T) {
+	d, idx := dataset.RunningExample()
+	g := topkrgs.GroupFromItems(d, []int{idx["a"]}, 0)
+	if len(g.Antecedent) != 3 || g.Confidence != 1.0 || g.Support != 2 {
+		t.Fatalf("closure of {a} = %+v", g)
+	}
+}
