@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments fuzz clean
+.PHONY: all build vet analyze test race bench experiments fuzz clean
 
-all: build vet test
+all: build vet analyze test
 
 build:
 	$(GO) build ./...
@@ -12,8 +12,13 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Repo-specific static analysis (bitset aliasing, float compares, panic
+# and error hygiene, concurrency prep). See DESIGN.md.
+analyze:
+	$(GO) run ./cmd/vetsuite ./...
+
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
 	$(GO) test -race ./...
@@ -39,10 +44,13 @@ experiments:
 	$(GO) run ./cmd/benchrunner -exp topgenes     > results/topgenes.txt
 	$(GO) run ./cmd/benchrunner -exp ablation -budget 500000 > results/ablation.txt
 
-# Short fuzzing sessions over the dataset parsers.
+# Short fuzzing sessions over the dataset parsers, the bit-set algebra
+# and the discretizer.
 fuzz:
 	$(GO) test -fuzz FuzzReadMatrix -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzReadDataset -fuzztime 30s ./internal/dataset/
+	$(GO) test -fuzz FuzzSetOps -fuzztime 30s ./internal/bitset/
+	$(GO) test -fuzz FuzzDiscretize -fuzztime 30s ./internal/discretize/
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -45,7 +45,7 @@ func main() {
 		enc := json.NewEncoder(f)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(v); err != nil {
-			f.Close()
+			_ = f.Close() // the Encode failure is the error to report
 			return err
 		}
 		return f.Close()

@@ -57,12 +57,17 @@ func main() {
 		base, train.NumRows(), base, test.NumRows(), train.NumGenes())
 }
 
-func write(path string, m *dataset.Matrix) error {
+func write(path string, m *dataset.Matrix) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		// Close errors on a written file are real data loss (ENOSPC).
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	return dataset.WriteMatrix(f, m)
 }
 

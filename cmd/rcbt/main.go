@@ -61,7 +61,9 @@ func main() {
 			fail(err)
 		}
 		c, err = rcbt.Load(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			fail(err)
 		}
@@ -123,7 +125,7 @@ func loadMatrix(path string) (*dataset.Matrix, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() // vetsuite:allow uncheckederr -- read-only file, nothing buffered to lose
 	return dataset.ReadMatrix(f)
 }
 

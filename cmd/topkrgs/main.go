@@ -95,7 +95,7 @@ func load(path string, isMatrix bool) (*dataset.Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() // vetsuite:allow uncheckederr -- read-only file, nothing buffered to lose
 	if !isMatrix {
 		return dataset.ReadDataset(f)
 	}

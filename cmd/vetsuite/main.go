@@ -1,0 +1,22 @@
+// Command vetsuite runs the repo-specific static-analysis suite
+// (internal/analysis) over the whole module: bitset clone-before-mutate
+// discipline, rules.CompareConf float-comparison policy, panic and
+// unchecked-error hygiene, and concurrency preparation checks.
+//
+// Usage:
+//
+//	vetsuite [-json] [-list] [-enable a,b] [-disable a,b] [-C dir] ./...
+//
+// Exit status is 0 when clean, 1 when findings were reported, 2 on load
+// or usage errors.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Stdout, os.Stderr, os.Args[1:]))
+}

@@ -6,6 +6,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"time"
 
 	"repro/internal/carpenter"
@@ -27,15 +28,15 @@ func main() {
 	p := synth.Scaled(synth.ALL(), *scale)
 	train, _, err := synth.Generate(p)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	dz, err := discretize.FitMatrix(train)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	d, err := dz.Transform(train)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	n := d.ClassCount(0)
 	ms := int(*minsup*float64(n)) + 1
@@ -55,7 +56,7 @@ func main() {
 		start := time.Now()
 		res, err := core.Mine(d, dataset.Label(0), core.DefaultConfig(ms, k))
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		report(fmt.Sprintf("MineTopkRGS(k=%d)", k), time.Since(start), len(res.Groups), false)
 	}
@@ -74,7 +75,7 @@ func main() {
 			Minsup: ms, Minconf: cfg.minconf, Engine: cfg.engine, MaxNodes: *budget,
 		})
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		report(cfg.name, time.Since(start), len(res.Groups), res.Aborted)
 	}
@@ -83,7 +84,7 @@ func main() {
 		start := time.Now()
 		res, err := carpenter.Mine(d, carpenter.Config{Minsup: colMS, MaxNodes: *budget})
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		report("CARPENTER (rows)", time.Since(start), len(res.Closed), res.Aborted)
 	}
@@ -91,7 +92,7 @@ func main() {
 		start := time.Now()
 		res, err := charm.Mine(d, charm.Config{Minsup: colMS, MaxNodes: *budget})
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		report("CHARM (diffsets)", time.Since(start), len(res.Closed), res.Aborted)
 	}
@@ -99,7 +100,7 @@ func main() {
 		start := time.Now()
 		res, err := closet.Mine(d, closet.Config{Minsup: colMS, MaxNodes: *budget})
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		report("CLOSET+", time.Since(start), len(res.Closed), res.Aborted)
 	}

@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"repro/internal/discretize"
 	"repro/internal/rcbt"
@@ -31,19 +32,19 @@ func main() {
 
 	train, test, err := synth.Generate(p)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	dz, err := discretize.FitMatrix(train)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	dTrain, err := dz.Transform(train)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	dTest, err := dz.Transform(test)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("entropy-MDL discretization kept %d genes (%d items)\n",
 		dz.NumSelectedGenes(), dTrain.NumItems())
@@ -52,7 +53,7 @@ func main() {
 		K: *k, NL: *nl, MinsupFrac: 0.7, LBMaxLen: 5, LBMaxCandidates: 1 << 18,
 	})
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("RCBT: %d classifiers (1 main + %d standby), default class %s\n",
 		c.NumClassifiers(), c.NumClassifiers()-1, dTrain.ClassNames[c.Default()])

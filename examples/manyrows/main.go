@@ -6,12 +6,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 	"math/rand"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/hybrid"
+	"repro/internal/rules"
 )
 
 func main() {
@@ -28,14 +30,14 @@ func main() {
 	start := time.Now()
 	direct, err := core.Mine(d, 0, core.DefaultConfig(*minsup, *k))
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	directTime := time.Since(start)
 
 	start = time.Now()
 	hyb, err := hybrid.Mine(d, 0, hybrid.Config{K: *k, Minsup: *minsup})
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	hybridTime := time.Since(start)
 
@@ -52,7 +54,7 @@ func main() {
 			continue
 		}
 		for i := range want {
-			if got[i].Confidence != want[i].Confidence || got[i].Support != want[i].Support {
+			if rules.CompareConf(got[i].Confidence, want[i].Confidence) != 0 || got[i].Support != want[i].Support {
 				mismatches++
 				break
 			}

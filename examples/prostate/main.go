@@ -9,6 +9,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -30,15 +31,15 @@ func main() {
 	}
 	train, _, err := synth.Generate(p)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	dz, err := discretize.FitMatrix(train)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	d, err := dz.Transform(train)
 	if err != nil {
-		panic(err)
+		log.Fatal(err)
 	}
 	fmt.Printf("%s: %d genes, %d after discretization, %d items, %d rows\n",
 		p.Name, p.NumGenes, dz.NumSelectedGenes(), d.NumItems(), d.NumRows())
@@ -69,7 +70,7 @@ func main() {
 		ms := int(0.7*float64(n)) + 1
 		res, err := core.Mine(d, dataset.Label(cls), core.DefaultConfig(ms, 1))
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		for _, g := range res.Groups {
 			for _, lb := range lowerbound.Find(d, g, lowerbound.Config{

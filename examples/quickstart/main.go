@@ -6,8 +6,10 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"repro/internal/dataset"
+	"repro/internal/rules"
 	"repro/topkrgs"
 )
 
@@ -28,7 +30,7 @@ func main() {
 		fmt.Printf("\nTop-1 covering rule groups, consequent %s (minsup=2):\n", d.ClassNames[cls])
 		res, err := topkrgs.Mine(d, label, 2, 1)
 		if err != nil {
-			panic(err)
+			log.Fatal(err)
 		}
 		for r := 0; r < d.NumRows(); r++ {
 			gs, ok := res.PerRow[r]
@@ -46,7 +48,7 @@ func main() {
 		// Example 2.2: the lower bounds of the group with upper bound abc.
 		if cls == 0 {
 			for _, g := range res.Groups {
-				if g.Confidence == 1.0 {
+				if rules.CompareConf(g.Confidence, 1.0) == 0 {
 					fmt.Printf("  lower bounds of %s:\n", g.Render(d))
 					for _, lb := range topkrgs.LowerBounds(d, g, 5) {
 						fmt.Printf("    %s\n", lb.Render(d))

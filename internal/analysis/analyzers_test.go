@@ -1,0 +1,47 @@
+package analysis
+
+import "testing"
+
+// Each fixture contains positive hits (// want) plus allowlisted and
+// clean negatives; runFixture enforces exact agreement.
+
+func TestBitsetAliasFixture(t *testing.T) {
+	runFixture(t, BitsetAliasAnalyzer, "bitsetalias",
+		"repro/internal/analysis/testdata/src/bitsetalias")
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	runFixture(t, FloatCmpAnalyzer, "floatcmp",
+		"repro/internal/analysis/testdata/src/floatcmp")
+}
+
+func TestPanicHygieneFixture(t *testing.T) {
+	runFixture(t, PanicHygieneAnalyzer, "panichygiene",
+		"repro/internal/analysis/testdata/src/panichygiene")
+}
+
+func TestUncheckedErrFixture(t *testing.T) {
+	// Loaded under a synthetic cmd/ path so the fixture is in scope.
+	runFixture(t, UncheckedErrAnalyzer, "uncheckederr",
+		"repro/cmd/vetsuite-fixture-uncheckederr")
+}
+
+func TestSyncGuardFixture(t *testing.T) {
+	runFixture(t, SyncGuardAnalyzer, "syncguard",
+		"repro/internal/analysis/testdata/src/syncguard")
+}
+
+func TestUncheckedErrScope(t *testing.T) {
+	for path, want := range map[string]bool{
+		"repro/cmd/topkrgs":        true,
+		"repro/cmd/vetsuite":       true,
+		"repro/internal/bench":     true,
+		"repro/internal/report":    true,
+		"repro/internal/core":      false,
+		"repro/internal/benchmark": false,
+	} {
+		if got := uncheckedErrScope(path); got != want {
+			t.Errorf("uncheckedErrScope(%q) = %v, want %v", path, got, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestSuiteCleanOnModule is the enforcement test: the whole module must
+// load, type-check and pass every analyzer. A regression that violates
+// the clone-before-mutate rule, compares confidences ad hoc, panics on
+// a library path, or drops an error in a writer package fails here (and
+// in make analyze / CI).
+func TestSuiteCleanOnModule(t *testing.T) {
+	pkgs := mustLoadModule(t)
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	diags := DefaultSuite().Run(pkgs, ComputeFacts(pkgs))
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d)
+	}
+}
+
+func TestModuleLoadCoversKnownPackages(t *testing.T) {
+	pkgs := mustLoadModule(t)
+	byPath := map[string]bool{}
+	for _, p := range pkgs {
+		byPath[p.Path] = true
+	}
+	for _, path := range []string{
+		"repro/internal/bitset",
+		"repro/internal/core",
+		"repro/internal/rowenum",
+		"repro/internal/rules",
+		"repro/cmd/vetsuite",
+		"repro/topkrgs",
+	} {
+		if !byPath[path] {
+			t.Errorf("module load missed %s", path)
+		}
+	}
+}
+
+func TestFactsMarkBitsetProducersFresh(t *testing.T) {
+	pkgs := mustLoadModule(t)
+	facts := ComputeFacts(pkgs)
+	fresh := map[string]bool{}
+	for obj := range facts.Fresh {
+		fresh[obj.Name()] = true
+	}
+	for _, name := range []string{"New", "FromIndices", "Clone", "Intersect", "Union", "Difference"} {
+		if !fresh[name] {
+			t.Errorf("bitset.%s not registered as fresh", name)
+		}
+	}
+}
+
+func TestMainJSONAndFlags(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out, errOut bytes.Buffer
+	if code := Main(&out, &errOut, []string{"-C", root, "-json", "./..."}); code != 0 {
+		t.Fatalf("Main exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
+	}
+	var res struct {
+		Count    int `json:"count"`
+		Findings []struct {
+			Analyzer string `json:"analyzer"`
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
+		t.Fatalf("bad JSON output: %v\n%s", err, out.String())
+	}
+	if res.Count != 0 || len(res.Findings) != 0 {
+		t.Errorf("expected clean module, got %d findings", res.Count)
+	}
+
+	out.Reset()
+	if code := Main(&out, &errOut, []string{"-list"}); code != 0 {
+		t.Fatalf("-list exit %d", code)
+	}
+	for _, name := range []string{"bitsetalias", "floatcmp", "panichygiene", "uncheckederr", "syncguard"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, []string{"-enable", "nosuch"}); code != 2 {
+		t.Errorf("unknown analyzer: exit %d, want 2", code)
+	}
+
+	// Disabling every analyzer but one still runs clean and fast.
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, []string{"-C", root, "-enable", "panichygiene"}); code != 0 {
+		t.Errorf("-enable panichygiene exit %d, stderr: %s", code, errOut.String())
+	}
+}
+
+func TestSelectAnalyzers(t *testing.T) {
+	var ew bytes.Buffer
+	s := selectAnalyzers(DefaultSuite(), "floatcmp,syncguard", "", &ew)
+	if s == nil || len(s.Analyzers) != 2 {
+		t.Fatalf("enable filter failed: %v", s)
+	}
+	s = selectAnalyzers(DefaultSuite(), "", "floatcmp", &ew)
+	if s == nil || len(s.Analyzers) != 4 || s.Lookup("floatcmp") != nil {
+		t.Fatalf("disable filter failed")
+	}
+}

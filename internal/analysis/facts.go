@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Facts is module-wide knowledge shared by all analyzers: which
+// functions are documented to return freshly allocated bitsets.
+//
+// A producer is "fresh" when its doc comment contains the marker
+// "vetsuite:fresh", or when it is one of the bitset package's own
+// constructors/pure-algebra methods (New, FromIndices, Clone,
+// Intersect, Union, Difference), which always allocate.
+type Facts struct {
+	Fresh map[types.Object]bool
+}
+
+// bitsetFresh lists *bitset.Set-returning functions of the bitset
+// package itself that are fresh by construction.
+var bitsetFresh = map[string]bool{
+	"New":         true,
+	"FromIndices": true,
+	"Clone":       true,
+	"Intersect":   true,
+	"Union":       true,
+	"Difference":  true,
+}
+
+// ComputeFacts scans the given packages' declarations for
+// vetsuite:fresh markers and the bitset built-ins.
+func ComputeFacts(pkgs []*Package) *Facts {
+	facts := &Facts{Fresh: map[types.Object]bool{}}
+	for _, pkg := range pkgs {
+		inBitset := isBitsetPkgPath(pkg.Path)
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				obj := pkg.Info.Defs[fd.Name]
+				if obj == nil {
+					continue
+				}
+				if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "vetsuite:fresh") {
+					facts.Fresh[obj] = true
+				}
+				if inBitset && bitsetFresh[fd.Name.Name] {
+					facts.Fresh[obj] = true
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// isBitsetPkgPath reports whether an import path is the bitset package.
+func isBitsetPkgPath(path string) bool {
+	return path == "bitset" || strings.HasSuffix(path, "/bitset")
+}
+
+// isBitsetPtr reports whether t is *bitset.Set.
+func isBitsetPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return isBitsetNamed(ptr.Elem())
+}
+
+// isBitsetNamed reports whether t is the named type bitset.Set.
+func isBitsetNamed(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Set" && obj.Pkg() != nil && isBitsetPkgPath(obj.Pkg().Path())
+}
+
+// holdsBitsetPtr reports whether t is *bitset.Set or a slice, array or
+// map holding *bitset.Set directly.
+func holdsBitsetPtr(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer:
+		return isBitsetNamed(u.Elem())
+	case *types.Slice:
+		return isBitsetPtr(u.Elem())
+	case *types.Array:
+		return isBitsetPtr(u.Elem())
+	case *types.Map:
+		return isBitsetPtr(u.Elem())
+	}
+	return false
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for calls
+// through function values, builtins and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}

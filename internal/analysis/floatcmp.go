@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// FloatCmpAnalyzer flags == and != between confidence/score float64s.
+// MineTopkRGS tie-breaking (Definition 2.2), CBA precedence and top-k
+// threshold checks must all share one documented comparison semantics,
+// which lives in rules.CompareConf; ad-hoc float equality drifts into
+// silent wrong-answer bugs when a call site is later "fixed" with an
+// epsilon the others don't use.
+//
+// A comparison is flagged when both operands are floating point and
+// either side mentions a confidence-like identifier (conf*, score*).
+// Comparisons against the constant 0 are allowed — that is the
+// "option not set" idiom for config fields, not a significance test —
+// as is the body of CompareConf itself.
+var FloatCmpAnalyzer = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= on confidence/score float64s outside rules.CompareConf",
+	Run:  runFloatCmp,
+}
+
+var confLikeName = regexp.MustCompile(`(?i)(conf|score)`)
+
+func runFloatCmp(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name == "CompareConf" {
+				continue // the one blessed implementation site
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+					return true
+				}
+				if !isFloatExpr(info, be.X) || !isFloatExpr(info, be.Y) {
+					return true
+				}
+				if isZeroConst(info, be.X) || isZeroConst(info, be.Y) {
+					return true
+				}
+				if !mentionsConfLike(be.X) && !mentionsConfLike(be.Y) {
+					return true
+				}
+				pass.Reportf(be.OpPos,
+					"%s on confidence/score floats; use rules.CompareConf for the documented comparison semantics", be.Op)
+				return true
+			})
+		}
+	}
+}
+
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isZeroConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+func mentionsConfLike(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && confLikeName.MatchString(id.Name) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

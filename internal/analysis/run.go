@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Main is the vetsuite driver: it loads every package of the module
+// enclosing dir (or the working directory), runs the selected
+// analyzers, and prints findings. It returns the process exit code:
+// 0 clean, 1 findings, 2 load or usage errors.
+func Main(w, ew io.Writer, args []string) int {
+	fs := flag.NewFlagSet("vetsuite", flag.ContinueOnError)
+	fs.SetOutput(ew)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
+	disable := fs.String("disable", "", "comma-separated analyzers to skip")
+	dir := fs.String("C", ".", "directory whose module to analyze")
+	fs.Usage = func() {
+		fmt.Fprintln(ew, "usage: vetsuite [-json] [-list] [-enable a,b] [-disable a,b] [-C dir] [./...]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	suite := DefaultSuite()
+	if *list {
+		for _, a := range suite.Analyzers {
+			fmt.Fprintf(w, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	for _, pat := range fs.Args() {
+		if pat != "./..." && pat != "all" {
+			fmt.Fprintf(ew, "vetsuite: unsupported pattern %q (only ./... — the whole module is always analyzed)\n", pat)
+			return 2
+		}
+	}
+	if suite = selectAnalyzers(suite, *enable, *disable, ew); suite == nil {
+		return 2
+	}
+
+	root, err := FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintf(ew, "vetsuite: %v\n", err)
+		return 2
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		fmt.Fprintf(ew, "vetsuite: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.LoadModule()
+	if err != nil {
+		fmt.Fprintf(ew, "vetsuite: %v\n", err)
+		return 2
+	}
+	facts := ComputeFacts(pkgs)
+	diags := suite.Run(pkgs, facts)
+	for i := range diags {
+		diags[i].File = relPath(root, diags[i].File)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		out := struct {
+			Count    int          `json:"count"`
+			Findings []Diagnostic `json:"findings"`
+		}{Count: len(diags), Findings: diags}
+		if out.Findings == nil {
+			out.Findings = []Diagnostic{}
+		}
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(ew, "vetsuite: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(w, d)
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(w, "vetsuite: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers applies -enable/-disable, reporting unknown names.
+func selectAnalyzers(suite *Suite, enable, disable string, ew io.Writer) *Suite {
+	names := func(csv string) ([]string, bool) {
+		if csv == "" {
+			return nil, true
+		}
+		var out []string
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if suite.Lookup(n) == nil {
+				fmt.Fprintf(ew, "vetsuite: unknown analyzer %q\n", n)
+				return nil, false
+			}
+			out = append(out, n)
+		}
+		return out, true
+	}
+	en, ok := names(enable)
+	if !ok {
+		return nil
+	}
+	dis, ok := names(disable)
+	if !ok {
+		return nil
+	}
+	selected := &Suite{}
+	for _, a := range suite.Analyzers {
+		if len(en) > 0 && !contains(en, a.Name) {
+			continue
+		}
+		if contains(dis, a.Name) {
+			continue
+		}
+		selected.Analyzers = append(selected.Analyzers, a)
+	}
+	return selected
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// relPath strips the module root prefix so both text and JSON output
+// report stable, root-relative file paths.
+func relPath(root, file string) string {
+	if strings.HasPrefix(file, root+string(os.PathSeparator)) {
+		return file[len(root)+1:]
+	}
+	return file
+}

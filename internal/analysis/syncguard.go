@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SyncGuardAnalyzer prepares the codebase for the planned parallel
+// miner: it flags (a) by-value copies of types that carry sync
+// primitives — copied locks guard nothing — whether as parameters,
+// receivers, results, plain assignments or range values; and (b)
+// goroutines that capture a mutable *bitset.Set (or a slice/array/map
+// of them) from the enclosing scope, where concurrent in-place set
+// algebra would be a data race. Pass clones into goroutines, or
+// annotate // vetsuite:allow syncguard where the sharing is
+// deliberately read-only.
+var SyncGuardAnalyzer = &Analyzer{
+	Name: "syncguard",
+	Doc:  "flags by-value copies of lock-carrying types and goroutine capture of mutable bitsets",
+	Run:  runSyncGuard,
+}
+
+func runSyncGuard(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkLockFields(pass, info, n.Recv, "receiver")
+				if n.Type.Params != nil {
+					checkLockFields(pass, info, n.Type.Params, "parameter")
+				}
+				if n.Type.Results != nil {
+					checkLockFields(pass, info, n.Type.Results, "result")
+				}
+			case *ast.FuncLit:
+				if n.Type.Params != nil {
+					checkLockFields(pass, info, n.Type.Params, "parameter")
+				}
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, rhs := range n.Rhs {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue // discarding to blank copies nothing observable
+					}
+					if !isAddressableValue(rhs) {
+						continue
+					}
+					if tv, ok := info.Types[rhs]; ok && tv.Type != nil {
+						if lock := lockInType(tv.Type); lock != "" {
+							pass.Reportf(n.Lhs[i].Pos(),
+								"assignment copies a value containing %s; use a pointer", lock)
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value == nil {
+					return true
+				}
+				if t := typeOf(info, n.Value); t != nil {
+					if lock := lockInType(t); lock != "" {
+						pass.Reportf(n.Value.Pos(),
+							"range value copies a value containing %s; range over indices or pointers", lock)
+					}
+				}
+			case *ast.GoStmt:
+				if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+					checkGoroutineCapture(pass, info, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkLockFields flags by-value fields of a field list whose type
+// carries a sync primitive.
+func checkLockFields(pass *Pass, info *types.Info, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		tv, ok := info.Types[field.Type]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if _, isPtr := tv.Type.Underlying().(*types.Pointer); isPtr {
+			continue
+		}
+		if lock := lockInType(tv.Type); lock != "" {
+			pass.Reportf(field.Type.Pos(), "%s passes a value containing %s by value; use a pointer", kind, lock)
+		}
+	}
+}
+
+// checkGoroutineCapture flags free *bitset.Set variables referenced by
+// a go-statement function literal.
+func checkGoroutineCapture(pass *Pass, info *types.Info, lit *ast.FuncLit) {
+	seen := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || seen[obj] {
+			return true
+		}
+		// Free variable: declared outside the literal's span.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		if holdsBitsetPtr(obj.Type()) {
+			seen[obj] = true
+			pass.Reportf(id.Pos(),
+				"goroutine captures mutable bitset %s from the enclosing scope; pass a Clone() or annotate // vetsuite:allow syncguard -- <reason>",
+				obj.Name())
+		}
+		return true
+	})
+}
+
+// typeOf resolves an expression's type, falling back to the defined or
+// used object for bare identifiers (range clause variables are
+// definitions and may be absent from the Types map).
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok && tv.Type != nil {
+		return tv.Type
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj.Type()
+		}
+		if obj := info.Uses[id]; obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// isAddressableValue reports whether an expression denotes an existing
+// value (whose assignment is a copy), as opposed to a literal or call.
+func isAddressableValue(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "nil"
+	case *ast.SelectorExpr, *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	}
+	return false
+}
+
+// lockInType returns a description of the first sync primitive found in
+// t (recursively through named structs, arrays), or "".
+func lockInType(t types.Type) string {
+	return lockIn(t, map[types.Type]bool{})
+}
+
+var syncLockTypes = map[string]bool{
+	"Mutex":     true,
+	"RWMutex":   true,
+	"WaitGroup": true,
+	"Once":      true,
+	"Cond":      true,
+	"Map":       true,
+	"Pool":      true,
+}
+
+func lockIn(t types.Type, visited map[types.Type]bool) string {
+	if visited[t] {
+		return ""
+	}
+	visited[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			switch obj.Pkg().Path() {
+			case "sync":
+				if syncLockTypes[obj.Name()] {
+					return "sync." + obj.Name()
+				}
+			case "sync/atomic":
+				return "atomic." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if s := lockIn(u.Field(i).Type(), visited); s != "" {
+				return s
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), visited)
+	}
+	return ""
+}

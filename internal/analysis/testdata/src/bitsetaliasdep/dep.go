@@ -1,0 +1,20 @@
+// Package bitsetaliasdep is a fixture dependency: a foreign package
+// exposing bitset accessors, one sharing its internal set and one
+// documented fresh.
+package bitsetaliasdep
+
+import "repro/internal/bitset"
+
+// Index models a package-private inverted index whose accessor returns
+// the shared internal set.
+type Index struct {
+	Rows *bitset.Set
+}
+
+// ItemRows returns the index's internal row set. Callers borrow it.
+func (ix *Index) ItemRows() *bitset.Set { return ix.Rows }
+
+// FreshRows returns an independent copy of the row set.
+//
+// vetsuite:fresh
+func (ix *Index) FreshRows() *bitset.Set { return ix.Rows.Clone() }

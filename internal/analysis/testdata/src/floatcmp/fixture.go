@@ -1,0 +1,45 @@
+// Package floatcmp exercises the confidence-comparison analyzer.
+package floatcmp
+
+func badEq(conf, other float64) bool {
+	return conf == other // want `== on confidence/score floats`
+}
+
+func badNeq(score float64, xs []float64) bool {
+	return xs[0] != score // want `!= on confidence/score floats`
+}
+
+func badField(g struct{ Confidence float64 }, c float64) bool {
+	return g.Confidence == c // want `== on confidence/score floats`
+}
+
+func okZeroDefault(minconf float64) bool {
+	return minconf == 0 // ok: the "option not set" idiom
+}
+
+func okNotConfLike(a, b float64) bool {
+	return a == b // ok: no confidence-like name involved
+}
+
+func okInts(conf, other int) bool {
+	return conf == other // ok: integers compare exactly
+}
+
+func okOrdering(conf, other float64) bool {
+	return conf > other // ok: ordering is fine, only equality is policed
+}
+
+// CompareConf is the blessed implementation site.
+func CompareConf(conf, other float64) int {
+	if conf == other { // ok: inside CompareConf itself
+		return 0
+	}
+	if conf > other {
+		return 1
+	}
+	return -1
+}
+
+func annotated(conf, other float64) bool {
+	return conf == other // vetsuite:allow floatcmp -- fixture: suppression must work
+}

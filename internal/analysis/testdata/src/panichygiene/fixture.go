@@ -1,0 +1,34 @@
+// Package panichygiene exercises the panic inventory analyzer.
+package panichygiene
+
+import "fmt"
+
+func badPanic(x int) {
+	if x < 0 {
+		panic("negative") // want `panic on a library path`
+	}
+}
+
+func badPanicf(x int) {
+	panic(fmt.Sprintf("x=%d", x)) // want `panic on a library path`
+}
+
+func annotated(x int) {
+	// vetsuite:allow panic -- fixture: annotated precondition
+	panic("annotated")
+}
+
+type abort struct{}
+
+func okReRaise() {
+	defer func() {
+		if rec := recover(); rec != nil {
+			if _, ok := rec.(abort); ok {
+				return
+			}
+			panic(rec) // ok: re-raise inside a recover handler
+		}
+	}()
+	// vetsuite:allow panic -- fixture: flow-control abort, recovered above
+	panic(abort{})
+}

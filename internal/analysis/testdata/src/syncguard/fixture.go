@@ -1,0 +1,65 @@
+// Package syncguard exercises the concurrency-preparation analyzer.
+package syncguard
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() { // ok: pointer receiver
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+func (g guarded) peek() int { // want `receiver passes a value containing sync.Mutex`
+	return g.n
+}
+
+func byValueParam(g guarded) int { // want `parameter passes a value containing sync.Mutex`
+	return g.n
+}
+
+func copyAssign(g *guarded) {
+	h := *g // want `assignment copies a value containing sync.Mutex`
+	_ = h
+}
+
+func rangeCopy(gs []guarded) {
+	for _, g := range gs { // want `range value copies a value containing sync.Mutex`
+		_ = g.n
+	}
+}
+
+func okPointers(gs []*guarded) {
+	for _, g := range gs { // ok: pointers copy fine
+		g.bump()
+	}
+}
+
+func badCapture(s *bitset.Set, done chan struct{}) {
+	go func() {
+		s.Add(1) // want `goroutine captures mutable bitset s`
+		close(done)
+	}()
+}
+
+func okClonePassed(s *bitset.Set, done chan struct{}) {
+	go func(c *bitset.Set) {
+		c.Add(1) // ok: the goroutine owns its clone
+		close(done)
+	}(s.Clone())
+}
+
+func okAnnotatedCapture(s *bitset.Set, done chan struct{}) {
+	go func() {
+		_ = s.Count() // vetsuite:allow syncguard -- fixture: deliberate read-only sharing
+		close(done)
+	}()
+}

@@ -1,0 +1,47 @@
+// Package uncheckederr exercises the dropped-error analyzer. The
+// fixture is loaded under a synthetic repro/cmd/... import path so it
+// falls inside the analyzer's scope.
+package uncheckederr
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func badDrop(f *os.File) {
+	f.Close() // want `call to \*File.Close drops its error result`
+}
+
+func badFileWrite(f *os.File) {
+	fmt.Fprintf(f, "data\n") // want `call to fmt.Fprintf drops its error result`
+}
+
+func badDefer(f *os.File) {
+	defer f.Close() // want `deferred call to \*File.Close drops its error result`
+}
+
+func okHandled(f *os.File) error {
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func okExplicitDiscard(f *os.File) {
+	_ = f.Close() // ok: visibly discarded
+}
+
+func okBestEffortPrinting(w io.Writer) {
+	fmt.Println("to stdout")            // ok: terminal output
+	fmt.Fprintf(os.Stderr, "to stderr") // ok: terminal output
+	fmt.Fprintf(w, "caller-owned sink") // ok: interface writer
+	var b strings.Builder
+	b.WriteString("never fails")   // ok: in-memory builder
+	fmt.Fprintf(&b, "never fails") // ok: in-memory builder
+}
+
+func okAnnotated(f *os.File) {
+	defer f.Close() // vetsuite:allow uncheckederr -- fixture: suppression must work
+}

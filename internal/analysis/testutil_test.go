@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"path/filepath"
+	"regexp"
+	"sync"
+	"testing"
+)
+
+// The loader is shared across all tests in the package: the standard
+// library source importer re-type-checks its imports from GOROOT
+// source, which is the dominant cost and worth paying once.
+var (
+	loaderOnce sync.Once
+	sharedLdr  *Loader
+	loaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		sharedLdr, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatalf("loader: %v", loaderErr)
+	}
+	return sharedLdr
+}
+
+// runFixture loads testdata/src/<fixture> under the given import path,
+// runs the analyzer, and checks its diagnostics against the fixture's
+// `// want "regexp"` comments: every want must be matched by a
+// diagnostic on its line, and every diagnostic must be wanted.
+func runFixture(t *testing.T, az *Analyzer, fixture, asPath string) {
+	t.Helper()
+	ldr := sharedLoader(t)
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := ldr.LoadDir(dir, asPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", fixture, err)
+	}
+	facts := ComputeFacts(ldr.Packages())
+	suite := &Suite{Analyzers: []*Analyzer{az}}
+	diags := suite.Run([]*Package{pkg}, facts)
+
+	wants := collectWants(t, pkg)
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.File != w.file || d.Line != w.line {
+				continue
+			}
+			if !w.re.MatchString(d.Message) {
+				t.Errorf("%s:%d: diagnostic %q does not match want %q", w.file, w.line, d.Message, w.re)
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: no diagnostic for want %q", w.file, w.line, w.re)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if t.Failed() {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+	}
+}
+
+type wantExpect struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+func collectWants(t *testing.T, pkg *Package) []wantExpect {
+	t.Helper()
+	var wants []wantExpect
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, wantExpect{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// mustLoadModule loads every package of the module once per test run.
+func mustLoadModule(t *testing.T) []*Package {
+	t.Helper()
+	ldr := sharedLoader(t)
+	pkgs, err := ldr.LoadModule()
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	return pkgs
+}

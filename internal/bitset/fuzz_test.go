@@ -1,0 +1,179 @@
+package bitset
+
+import (
+	"sort"
+	"testing"
+)
+
+// FuzzSetOps drives a Set through a fuzz-chosen sequence of mutating
+// operations alongside a map-based reference model and asserts the two
+// stay in lockstep. The word-level bit twiddling (masking of the final
+// partial word in particular) is exactly the kind of code where an
+// off-by-one survives example-based tests; the model is too slow for
+// mining but trivially correct.
+func FuzzSetOps(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 10, 2, 24, 3})
+	f.Add([]byte{130, 0, 129, 2, 129, 3, 0, 7, 0, 9, 0})
+	f.Add([]byte{64, 7, 0, 5, 0, 8, 0, 6, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		// Universe sizes 1..190 cross the one-, two- and three-word
+		// boundaries, including exact multiples of 64.
+		n := int(data[0])%190 + 1
+		s, o := New(n), New(n)
+		ms, mo := map[int]bool{}, map[int]bool{}
+		for ops := data[1:]; len(ops) >= 2; ops = ops[2:] {
+			arg := int(ops[1]) % n
+			switch ops[0] % 10 {
+			case 0:
+				s.Add(arg)
+				ms[arg] = true
+			case 1:
+				s.Remove(arg)
+				delete(ms, arg)
+			case 2:
+				o.Add(arg)
+				mo[arg] = true
+			case 3:
+				s.IntersectWith(o)
+				for k := range ms {
+					if !mo[k] {
+						delete(ms, k)
+					}
+				}
+			case 4:
+				s.UnionWith(o)
+				for k := range mo {
+					ms[k] = true
+				}
+			case 5:
+				s.DifferenceWith(o)
+				for k := range mo {
+					delete(ms, k)
+				}
+			case 6:
+				s.Clear()
+				ms = map[int]bool{}
+			case 7:
+				s.Fill()
+				for i := 0; i < n; i++ {
+					ms[i] = true
+				}
+			case 8:
+				s.CopyFrom(o)
+				ms = map[int]bool{}
+				for k := range mo {
+					ms[k] = true
+				}
+			case 9:
+				s, o = o, s.Clone()
+				ms, mo = mo, cloneModel(ms)
+			}
+			checkModel(t, s, ms)
+		}
+		checkModel(t, o, mo)
+
+		// Fresh-result algebra and the pairwise predicates, against the
+		// final models.
+		checkModel(t, s.Intersect(o), modelBinary(ms, mo, func(a, b bool) bool { return a && b }))
+		checkModel(t, s.Union(o), modelBinary(ms, mo, func(a, b bool) bool { return a || b }))
+		checkModel(t, s.Difference(o), modelBinary(ms, mo, func(a, b bool) bool { return a && !b }))
+		inter := modelBinary(ms, mo, func(a, b bool) bool { return a && b })
+		if got, want := s.IntersectionCount(o), len(inter); got != want {
+			t.Errorf("IntersectionCount = %d, model %d", got, want)
+		}
+		if got, want := s.Intersects(o), len(inter) > 0; got != want {
+			t.Errorf("Intersects = %v, model %v", got, want)
+		}
+		if got, want := s.ContainsAll(o), len(modelBinary(mo, ms, func(a, b bool) bool { return a && !b })) == 0; got != want {
+			t.Errorf("ContainsAll = %v, model %v", got, want)
+		}
+		sameModel := len(ms) == len(mo) && len(inter) == len(ms)
+		if got := s.Equal(o); got != sameModel {
+			t.Errorf("Equal = %v, model %v", got, sameModel)
+		}
+		if got := s.Key() == o.Key(); got != sameModel {
+			t.Errorf("Key equality = %v, model %v", got, sameModel)
+		}
+	})
+}
+
+// checkModel asserts full observable agreement between a set and its
+// reference model.
+func checkModel(t *testing.T, s *Set, m map[int]bool) {
+	t.Helper()
+	want := modelIndices(m)
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices = %v, model %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("Indices = %v, model %v", got, want)
+		}
+	}
+	if s.Count() != len(want) {
+		t.Fatalf("Count = %d, model %d", s.Count(), len(want))
+	}
+	if s.IsEmpty() != (len(want) == 0) {
+		t.Fatalf("IsEmpty = %v with %d elements", s.IsEmpty(), len(want))
+	}
+	for i := 0; i < s.Len(); i++ {
+		if s.Contains(i) != m[i] {
+			t.Fatalf("Contains(%d) = %v, model %v", i, s.Contains(i), m[i])
+		}
+	}
+	if mn, ok := s.Min(); ok != (len(want) > 0) || (ok && mn != want[0]) {
+		t.Fatalf("Min = %d,%v, model %v", mn, ok, want)
+	}
+	if mx, ok := s.Max(); ok != (len(want) > 0) || (ok && mx != want[len(want)-1]) {
+		t.Fatalf("Max = %d,%v, model %v", mx, ok, want)
+	}
+	for _, limit := range []int{0, 1, s.Len() / 2, s.Len(), s.Len() + 7} {
+		c := 0
+		for _, i := range want {
+			if i < limit {
+				c++
+			}
+		}
+		if got := s.CountBelow(limit); got != c {
+			t.Fatalf("CountBelow(%d) = %d, model %d", limit, got, c)
+		}
+	}
+}
+
+func cloneModel(m map[int]bool) map[int]bool {
+	c := make(map[int]bool, len(m))
+	for k, v := range m {
+		c[k] = v
+	}
+	return c
+}
+
+func modelIndices(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k, v := range m {
+		if v {
+			out = append(out, k)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+func modelBinary(a, b map[int]bool, keep func(a, b bool) bool) map[int]bool {
+	out := map[int]bool{}
+	for k := range a {
+		if keep(a[k], b[k]) {
+			out[k] = true
+		}
+	}
+	for k := range b {
+		if keep(a[k], b[k]) {
+			out[k] = true
+		}
+	}
+	return out
+}

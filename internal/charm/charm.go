@@ -65,6 +65,7 @@ type miner struct {
 func (m *miner) tick() {
 	m.nodes++
 	if m.cfg.MaxNodes > 0 && m.nodes > m.cfg.MaxNodes {
+		// vetsuite:allow panic -- recovered in Mine: unwinds the recursion when the node budget is spent
 		panic(errAborted{})
 	}
 }

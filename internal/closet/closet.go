@@ -95,6 +95,7 @@ type miner struct {
 func (m *miner) tick(n int) {
 	m.nodes += n
 	if m.cfg.MaxNodes > 0 && m.nodes > m.cfg.MaxNodes {
+		// vetsuite:allow panic -- recovered in Mine: unwinds the recursion when the node budget is spent
 		panic(errAborted{})
 	}
 }

@@ -376,8 +376,8 @@ func (v *topkVisitor) maybeRaiseMinsup() {
 // qualifies reports whether a subtree whose best possible group has the
 // given (confidence, support) upper bounds could still beat th.
 func qualifies(th rowenum.Threshold, ubConf float64, ubSup int) bool {
-	if ubConf != th.Conf {
-		return ubConf > th.Conf
+	if c := rules.CompareConf(ubConf, th.Conf); c != 0 {
+		return c > 0
 	}
 	return ubSup > th.Sup
 }
@@ -434,7 +434,7 @@ func (v *topkVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []
 		// support set); resolveSeeds rewrites its antecedent later.
 		dup := false
 		for _, g0 := range l.Groups() {
-			if g0.Confidence == conf && g0.Support == xp && g0.Rows != nil && g0.Rows.Equal(rows) {
+			if rules.CompareConf(g0.Confidence, conf) == 0 && g0.Support == xp && g0.Rows != nil && g0.Rows.Equal(rows) {
 				dup = true
 				break
 			}

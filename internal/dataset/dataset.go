@@ -275,6 +275,7 @@ func (d *Dataset) Subset(rows []int) *Dataset {
 // new row i is old row perm[i].
 func (d *Dataset) Reorder(perm []int) *Dataset {
 	if len(perm) != len(d.Rows) {
+		// vetsuite:allow panic -- programmer-error precondition, not data-dependent
 		panic(fmt.Sprintf("dataset: permutation length %d != %d rows", len(perm), len(d.Rows)))
 	}
 	return d.Subset(perm)

@@ -1,0 +1,113 @@
+package discretize
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// FuzzDiscretize decodes a small labeled expression matrix from fuzz
+// bytes, fits the MDL discretizer on it and checks the structural
+// invariants the miner depends on: cut points sorted and finite, items
+// covering the real line gene by gene, Transform mapping every training
+// value into an interval that actually contains it, and RowItems
+// agreeing with Transform.
+func FuzzDiscretize(f *testing.F) {
+	f.Add([]byte{3, 4, 0, 1, 0, 1, 10, 200, 30, 40, 50, 60, 7, 8, 9, 10, 11, 12})
+	f.Add([]byte{1, 2, 0, 1, 128, 128})
+	f.Add([]byte{2, 6, 0, 0, 1, 1, 0, 1, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := decodeMatrix(data)
+		if m == nil {
+			return
+		}
+		dz, err := FitMatrix(m)
+		if err != nil {
+			t.Fatalf("FitMatrix rejected a valid matrix: %v", err)
+		}
+
+		for g, cuts := range dz.Cuts {
+			if !sort.Float64sAreSorted(cuts) {
+				t.Fatalf("gene %d cuts not sorted: %v", g, cuts)
+			}
+			for _, c := range cuts {
+				if math.IsNaN(c) || math.IsInf(c, 0) {
+					t.Fatalf("gene %d has non-finite cut %v", g, c)
+				}
+			}
+		}
+
+		d, err := dz.Transform(m)
+		if err != nil {
+			t.Fatalf("Transform on the training matrix: %v", err)
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("transformed dataset invalid: %v", err)
+		}
+		for r, row := range d.Rows {
+			if !sort.IntsAreSorted(row) {
+				t.Fatalf("row %d items not sorted: %v", r, row)
+			}
+			if want := dz.RowItems(m.Values[r]); !equalInts(row, want) {
+				t.Fatalf("row %d: Transform %v != RowItems %v", r, row, want)
+			}
+			for _, it := range row {
+				item := d.Items[it]
+				v := m.Values[r][item.Gene]
+				if v < item.Lo || v >= item.Hi {
+					t.Fatalf("row %d gene %d: value %v outside item interval [%v,%v)",
+						r, item.Gene, v, item.Lo, item.Hi)
+				}
+			}
+		}
+	})
+}
+
+// decodeMatrix builds a valid two-class matrix from fuzz bytes, or nil
+// when the input is too short to define one. Layout: numGenes, numRows,
+// then one label byte per row, then one value byte per cell (scaled into
+// a small float range so equal values occur often — ties are where the
+// cut placement logic is subtle).
+func decodeMatrix(data []byte) *dataset.Matrix {
+	if len(data) < 2 {
+		return nil
+	}
+	numGenes := int(data[0])%6 + 1
+	numRows := int(data[1])%10 + 2
+	data = data[2:]
+	if len(data) < numRows*(numGenes+1) {
+		return nil
+	}
+	m := &dataset.Matrix{
+		GeneNames:  make([]string, numGenes),
+		ClassNames: []string{"C", "notC"},
+	}
+	for g := range m.GeneNames {
+		m.GeneNames[g] = "g" + string(rune('A'+g))
+	}
+	for r := 0; r < numRows; r++ {
+		m.Labels = append(m.Labels, dataset.Label(data[0]%2))
+		data = data[1:]
+		row := make([]float64, numGenes)
+		for g := range row {
+			row[g] = float64(int(data[g])%16) / 4.0
+		}
+		data = data[numGenes:]
+		m.Values = append(m.Values, row)
+	}
+	return m
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

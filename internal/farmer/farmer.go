@@ -446,6 +446,7 @@ func mineTable(d *dataset.Dataset, cls dataset.Label, cfg Config, freqItems, ord
 func (m *tableMiner) enumerate(n node, x *bitset.Set, minNext int) {
 	m.stats.Nodes++
 	if m.cfg.MaxNodes > 0 && m.stats.Nodes > m.cfg.MaxNodes {
+		// vetsuite:allow panic -- recovered in Mine: unwinds the recursion when the node budget is spent
 		panic(errAborted{})
 	}
 	items, freq, tuples := n.analyze()

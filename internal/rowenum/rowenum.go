@@ -125,6 +125,7 @@ func (e *Engine) posSplit(cand []int) (pos, neg []int) {
 func (e *Engine) enumerate(x *bitset.Set, items []int, cand []int, minNext, depth int) {
 	e.stats.Nodes++
 	if e.MaxNodes > 0 && e.stats.Nodes > e.MaxNodes {
+		// vetsuite:allow panic -- recovered in Run: unwinds the recursion when the node budget is spent
 		panic(errAborted{})
 	}
 	if depth > e.stats.MaxDepth {

@@ -193,6 +193,7 @@ func Rank(scores []float64) []int {
 	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
 	ranks := make([]int, len(scores))
 	for pos, i := range idx {
+		// vetsuite:allow floatcmp -- dense ranking ties on bit-identical scores; stats stays free of the rules package
 		if pos > 0 && scores[i] == scores[idx[pos-1]] {
 			ranks[i] = ranks[idx[pos-1]]
 		} else {

@@ -162,6 +162,7 @@ func Profiles() []Profile { return []Profile{ALL(), LC(), OC(), PC()} }
 // fast while preserving shape). factor must be >= 1.
 func Scaled(p Profile, factor int) Profile {
 	if factor < 1 {
+		// vetsuite:allow panic -- programmer-error precondition, not data-dependent
 		panic(fmt.Sprintf("synth: scale factor %d < 1", factor))
 	}
 	p.Name = fmt.Sprintf("%s/%d", p.Name, factor)
