@@ -3,13 +3,17 @@
 //
 // Usage:
 //
-//	benchrunner -exp table1|fig6|fig6e|table2|fig7|fig8|defaultclass|minsupsweep|ablation|all [-scale N]
+//	benchrunner -exp table1|fig6|fig6e|table2|fig7|fig8|defaultclass|minsupsweep|ablation|parallelspeedup|all [-scale N]
 //
 // -scale divides the profiles' gene counts (1 = paper scale; larger is
-// faster). Output goes to stdout in paper-style rows.
+// faster). -workers sets the TopkRGS worker count for the mining
+// experiments (default 1 = sequential, the paper's setting; 0 = all
+// cores), -timeout bounds the whole run via context cancellation.
+// Output goes to stdout in paper-style rows.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig6e, table2, fig7, fig8, defaultclass, minsupsweep, groupcount, topgenes, ablation, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig6e, table2, fig7, fig8, defaultclass, minsupsweep, groupcount, topgenes, ablation, parallelspeedup, all")
 	scale := flag.Int("scale", 1, "gene-count divisor (1 = paper scale)")
 	budget := flag.Int("budget", 3_000_000, "baseline node budget before DNF")
 	topkBudget := flag.Int("topkbudget", 0, "optional MineTopkRGS node budget in fig6 (0 = unbounded)")
@@ -30,8 +34,17 @@ func main() {
 	datasets := flag.String("datasets", "", "comma-separated dataset filter for fig6 (e.g. ALL,LC)")
 	minsups := flag.String("minsups", "", "comma-separated relative supports for fig6 (e.g. 0.95,0.9)")
 	jsonOut := flag.String("json", "", "also write the experiment's structured results as JSON to this file")
+	workers := flag.Int("workers", 1, "TopkRGS enumeration workers in mining experiments (0 = all cores)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+	workerSweep := flag.String("workersweep", "", "comma-separated worker counts for parallelspeedup (e.g. 1,2,4,8)")
 	flag.Parse()
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	s := bench.Scale(*scale)
 	w := os.Stdout
 	writeJSON := func(v any) error {
@@ -73,6 +86,7 @@ func main() {
 		cfg.BaselineBudget = *budget
 		cfg.TopkBudget = *topkBudget
 		cfg.IncludeColumnMiners = !*noColumn
+		cfg.Workers = *workers
 		if *datasets != "" {
 			for _, d := range strings.Split(*datasets, ",") {
 				name := strings.TrimSpace(d)
@@ -92,7 +106,7 @@ func main() {
 				cfg.Minsups = append(cfg.Minsups, v)
 			}
 		}
-		pts, err := bench.Fig6(w, cfg)
+		pts, err := bench.Fig6(ctx, w, cfg)
 		if err != nil {
 			return err
 		}
@@ -100,7 +114,7 @@ func main() {
 		return writeJSON(pts)
 	})
 	run("fig6e", func() error {
-		_, err := bench.Fig6e(w, s, 0.8, nil)
+		_, err := bench.Fig6e(ctx, w, s, 0.8, nil, *workers)
 		return err
 	})
 	run("table2", func() error {
@@ -119,7 +133,7 @@ func main() {
 		return nil
 	})
 	run("fig8", func() error {
-		res, err := bench.Fig8(w, s, 20, 20)
+		res, err := bench.Fig8(ctx, w, s, 20, 20)
 		if err != nil {
 			return err
 		}
@@ -141,17 +155,34 @@ func main() {
 		return writeJSON(pts)
 	})
 	run("groupcount", func() error {
-		pts, err := bench.GroupCount(w, s, nil, 0.9, *budget)
+		pts, err := bench.GroupCount(ctx, w, s, nil, 0.9, *budget)
 		if err != nil {
 			return err
 		}
 		return writeJSON(pts)
 	})
 	run("ablation", func() error {
-		if _, err := bench.AblationEngines(w, s, 0.85, 0.9, *budget); err != nil {
+		if _, err := bench.AblationEngines(ctx, w, s, 0.85, 0.9, *budget); err != nil {
 			return err
 		}
-		_, err := bench.AblationPruning(w, s, 0.8, 10, *budget)
+		_, err := bench.AblationPruning(ctx, w, s, 0.8, 10, *budget)
 		return err
+	})
+	run("parallelspeedup", func() error {
+		var counts []int
+		if *workerSweep != "" {
+			for _, c := range strings.Split(*workerSweep, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(c))
+				if err != nil {
+					return fmt.Errorf("bad -workersweep entry %q: %v", c, err)
+				}
+				counts = append(counts, v)
+			}
+		}
+		pts, err := bench.ParallelSpeedup(ctx, w, s, 0.7, 10, counts)
+		if err != nil {
+			return err
+		}
+		return writeJSON(pts)
 	})
 }

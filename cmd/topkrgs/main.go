@@ -4,22 +4,26 @@
 //
 // Usage:
 //
-//	topkrgs -in data.txt [-matrix] -class 0 -minsup 0.7 -k 10 [-v]
+//	topkrgs -in data.txt [-matrix] -class 0 -minsup 0.7 -k 10 [-workers N] [-timeout 30s] [-v]
 //
 // With -matrix, -in is parsed as a real-valued expression matrix and
 // entropy-MDL discretization runs first. -minsup is relative to the
-// consequent class size when < 1, absolute otherwise.
+// consequent class size when < 1, absolute otherwise. -workers mines
+// first-level enumeration subtrees on N goroutines (0 = all cores;
+// output is identical to the sequential run), and -timeout aborts the
+// whole mine with an error once exceeded.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/discretize"
 	"repro/internal/lowerbound"
+	"repro/topkrgs"
 )
 
 func main() {
@@ -30,6 +34,8 @@ func main() {
 	k := flag.Int("k", 10, "covering rule groups per row")
 	verbose := flag.Bool("v", false, "print per-row lists, not just the group union")
 	nl := flag.Int("lb", 0, "also derive this many shortest lower-bound rules per group")
+	workers := flag.Int("workers", 1, "enumeration workers (0 = all cores)")
+	timeout := flag.Duration("timeout", 0, "abort mining after this long (0 = no limit)")
 	flag.Parse()
 
 	if *in == "" {
@@ -52,7 +58,13 @@ func main() {
 	if ms < 1 {
 		ms = 1
 	}
-	res, err := core.Mine(d, cls, core.DefaultConfig(ms, *k))
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := topkrgs.MineContext(ctx, d, cls, ms, *k, topkrgs.Options{Workers: *workers})
 	if err != nil {
 		fail(err)
 	}

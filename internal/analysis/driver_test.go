@@ -32,7 +32,7 @@ func TestModuleLoadCoversKnownPackages(t *testing.T) {
 	for _, path := range []string{
 		"repro/internal/bitset",
 		"repro/internal/core",
-		"repro/internal/rowenum",
+		"repro/internal/engine",
 		"repro/internal/rules",
 		"repro/cmd/vetsuite",
 		"repro/topkrgs",

@@ -10,9 +10,10 @@ import (
 // into a serving system, library packages must not panic on
 // data-dependent paths: panics are reserved for programmer-error
 // precondition checks in internal/bitset, for re-raising a recovered
-// value inside a recover handler (the node-budget abort machinery in
-// the enumeration engines), and for sites explicitly annotated
-// // vetsuite:allow panic with a reason.
+// value inside a recover handler, and for sites explicitly annotated
+// // vetsuite:allow panic with a reason. (The enumeration engines
+// abort via engine.ErrNodeBudget sentinel errors, not panics, so no
+// miner needs the recover exemption anymore.)
 var PanicHygieneAnalyzer = &Analyzer{
 	Name:  "panichygiene",
 	Alias: "panic",

@@ -63,3 +63,32 @@ func okAnnotatedCapture(s *bitset.Set, done chan struct{}) {
 		close(done)
 	}()
 }
+
+// job mirrors the parallel engine's worker pool: per-task state holding
+// bitsets is cloned on the dispatching goroutine before any worker
+// starts, and workers reach it only by indexing the task slice.
+type job struct {
+	x *bitset.Set
+}
+
+func consume(j job) { j.x.Add(1) }
+
+func okPrebuiltTasks(src *bitset.Set, done chan struct{}) {
+	jobs := make([]job, 2)
+	for i := range jobs {
+		jobs[i] = job{x: src.Clone()}
+	}
+	go func() {
+		for i := range jobs {
+			consume(jobs[i]) // ok: each prebuilt clone is exclusively owned
+		}
+		close(done)
+	}()
+}
+
+func badFieldCapture(j job, done chan struct{}) {
+	go func() {
+		j.x.Add(1) // want `goroutine captures mutable bitset x`
+		close(done)
+	}()
+}

@@ -1,12 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/farmer"
+	"repro/internal/engine"
 )
 
 // AblationPoint is one configuration's cost measurement.
@@ -21,7 +21,7 @@ type AblationPoint struct {
 // AblationEngines compares the three FARMER table engines (naive
 // materialized tables, prefix tree, bitsets) at identical pruning — the
 // paper's "FARMER vs FARMER+prefix" isolation of the representation.
-func AblationEngines(w io.Writer, scale Scale, minsupFrac, minconf float64, budget int) ([]AblationPoint, error) {
+func AblationEngines(ctx context.Context, w io.Writer, scale Scale, minsupFrac, minconf float64, budget int) ([]AblationPoint, error) {
 	if minsupFrac == 0 {
 		minsupFrac = 0.85
 	}
@@ -37,20 +37,21 @@ func AblationEngines(w io.Writer, scale Scale, minsupFrac, minconf float64, budg
 			return nil, err
 		}
 		ms := minsupAbs(pr.dTrain, minsupFrac)
-		for _, eng := range []farmer.Engine{farmer.EngineNaive, farmer.EnginePrefix, farmer.EngineBitset} {
-			var res *farmer.Result
+		for _, variant := range []string{"naive", "prefix", "bitset"} {
+			var stats engine.Stats
 			var err error
 			elapsed := timeIt(func() {
-				res, err = farmer.Mine(pr.dTrain, 0, farmer.Config{
-					Minsup: ms, Minconf: minconf, Engine: eng, MaxNodes: budget,
+				_, stats, err = mineVia(ctx, "farmer", pr.dTrain, engine.Options{
+					Minsup: ms, Minconf: minconf, Variant: variant,
+					MaxNodes: budget, Workers: 1,
 				})
 			})
 			if err != nil {
 				return nil, err
 			}
 			pt := AblationPoint{
-				Dataset: p.Name, Variant: eng.String(),
-				Elapsed: elapsed, Nodes: res.Stats.Nodes, Aborted: res.Aborted,
+				Dataset: p.Name, Variant: variant,
+				Elapsed: elapsed, Nodes: stats.Nodes, Aborted: stats.Aborted,
 			}
 			out = append(out, pt)
 			fmt.Fprintf(w, "%-10s %-10s %10s %12d\n", pt.Dataset, pt.Variant, fmtDur(pt.Elapsed, pt.Aborted), pt.Nodes)
@@ -63,7 +64,7 @@ func AblationEngines(w io.Writer, scale Scale, minsupFrac, minconf float64, budg
 // in turn: top-k pruning, backward pruning, single-item seeding, the
 // class-internal row ordering, and dynamic minsup raising. budget caps
 // enumeration nodes per run (0 = 3M); exceeded runs report DNF.
-func AblationPruning(w io.Writer, scale Scale, minsupFrac float64, k, budget int) ([]AblationPoint, error) {
+func AblationPruning(ctx context.Context, w io.Writer, scale Scale, minsupFrac float64, k, budget int) ([]AblationPoint, error) {
 	if minsupFrac == 0 {
 		minsupFrac = 0.8
 	}
@@ -75,14 +76,14 @@ func AblationPruning(w io.Writer, scale Scale, minsupFrac float64, k, budget int
 	}
 	variants := []struct {
 		name string
-		mod  func(*core.Config)
+		mod  func(*engine.Options)
 	}{
-		{"full", func(c *core.Config) {}},
-		{"-topk", func(c *core.Config) { c.TopKPruning = false }},
-		{"-backward", func(c *core.Config) { c.BackwardPruning = false }},
-		{"-seedinit", func(c *core.Config) { c.SeedInit = false }},
-		{"-roworder", func(c *core.Config) { c.SortRowsByItemCount = false }},
-		{"-dynminsup", func(c *core.Config) { c.DynamicMinsup = false }},
+		{"full", func(o *engine.Options) {}},
+		{"-topk", func(o *engine.Options) { o.DisableTopKPruning = true }},
+		{"-backward", func(o *engine.Options) { o.DisableBackwardPruning = true }},
+		{"-seedinit", func(o *engine.Options) { o.DisableSeedInit = true }},
+		{"-roworder", func(o *engine.Options) { o.DisableRowSort = true }},
+		{"-dynminsup", func(o *engine.Options) { o.DisableDynamicMinsup = true }},
 	}
 	var out []AblationPoint
 	header(w, fmt.Sprintf("Ablation: MineTopkRGS optimizations (minsup=%.2f k=%d)", minsupFrac, k))
@@ -94,24 +95,17 @@ func AblationPruning(w io.Writer, scale Scale, minsupFrac float64, k, budget int
 		}
 		ms := minsupAbs(pr.dTrain, minsupFrac)
 		for _, v := range variants {
-			cfg := core.DefaultConfig(ms, k)
-			cfg.MaxNodes = budget
-			v.mod(&cfg)
-			var nodes int
-			aborted := false
+			opts := engine.Options{K: k, Minsup: ms, MaxNodes: budget, Workers: 1}
+			v.mod(&opts)
+			var stats engine.Stats
 			var err error
 			elapsed := timeIt(func() {
-				var res *core.Result
-				res, err = core.Mine(pr.dTrain, 0, cfg)
-				if res != nil {
-					nodes = res.Stats.Nodes
-					aborted = res.Stats.Aborted
-				}
+				_, stats, err = mineVia(ctx, "topk", pr.dTrain, opts)
 			})
 			if err != nil {
 				return nil, err
 			}
-			pt := AblationPoint{Dataset: p.Name, Variant: v.name, Elapsed: elapsed, Nodes: nodes, Aborted: aborted}
+			pt := AblationPoint{Dataset: p.Name, Variant: v.name, Elapsed: elapsed, Nodes: stats.Nodes, Aborted: stats.Aborted}
 			out = append(out, pt)
 			fmt.Fprintf(w, "%-10s %-12s %10s %12d\n", pt.Dataset, pt.Variant, fmtDur(pt.Elapsed, pt.Aborted), pt.Nodes)
 		}

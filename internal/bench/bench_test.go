@@ -1,10 +1,12 @@
 package bench
 
 import (
+	"context"
 	"io"
 	"strings"
 	"testing"
 
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/synth"
 )
@@ -47,7 +49,7 @@ func TestFig6SmallSweep(t *testing.T) {
 		Datasets:            []string{"ALL/60"},
 	}
 	var sb strings.Builder
-	pts, err := Fig6(&sb, cfg)
+	pts, err := Fig6(context.Background(), &sb, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +79,7 @@ func TestFig6e(t *testing.T) {
 		t.Skip("runtime sweep in -short mode")
 	}
 	var sb strings.Builder
-	pts, err := Fig6e(&sb, testScale, 0.8, []int{1, 10})
+	pts, err := Fig6e(context.Background(), &sb, testScale, 0.8, []int{1, 10}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +134,7 @@ func TestFig8(t *testing.T) {
 		t.Skip("analysis run in -short mode")
 	}
 	var sb strings.Builder
-	res, err := Fig8(&sb, testScale, 5, 10)
+	res, err := Fig8(context.Background(), &sb, testScale, 5, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,14 +159,14 @@ func TestAblations(t *testing.T) {
 		t.Skip("ablations in -short mode")
 	}
 	var sb strings.Builder
-	eng, err := AblationEngines(&sb, testScale, 0.85, 0.9, 200000)
+	eng, err := AblationEngines(context.Background(), &sb, testScale, 0.85, 0.9, 200000)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(eng) != 12 { // 4 datasets x 3 engines
 		t.Fatalf("engine points = %d", len(eng))
 	}
-	pr, err := AblationPruning(&sb, testScale, 0.85, 3, 300000)
+	pr, err := AblationPruning(context.Background(), &sb, testScale, 0.85, 3, 300000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,6 +190,42 @@ func TestAblations(t *testing.T) {
 			t.Errorf("%s: disabling top-k pruning reduced nodes (%d < %d)",
 				ds, off.nodes, on.nodes)
 		}
+	}
+}
+
+// TestAllMinersRegistered pins the engine registry: every miner in the
+// repo is dispatchable by name, which is what lets the experiments (and
+// mineVia) avoid per-miner entry points entirely.
+func TestAllMinersRegistered(t *testing.T) {
+	have := map[string]bool{}
+	for _, name := range engine.Miners() {
+		have[name] = true
+	}
+	for _, want := range []string{"carpenter", "charm", "closet", "farmer", "hybrid", "topk"} {
+		if !have[want] {
+			t.Errorf("miner %q not registered (have %v)", want, engine.Miners())
+		}
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime sweep in -short mode")
+	}
+	var sb strings.Builder
+	pts, err := ParallelSpeedup(context.Background(), &sb, testScale, 0.8, 3, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	// Determinism: the parallel run finds exactly the sequential groups.
+	if pts[0].Groups != pts[1].Groups {
+		t.Fatalf("group counts differ across worker counts: %d vs %d", pts[0].Groups, pts[1].Groups)
+	}
+	if pts[0].Speedup != 1 {
+		t.Fatalf("baseline speedup = %v, want 1", pts[0].Speedup)
 	}
 }
 
@@ -226,7 +264,7 @@ func TestGroupCount(t *testing.T) {
 		t.Skip("group counting in -short mode")
 	}
 	var sb strings.Builder
-	pts, err := GroupCount(&sb, testScale, []float64{0.95, 0.9}, 0.9, 200000)
+	pts, err := GroupCount(context.Background(), &sb, testScale, []float64{0.95, 0.9}, 0.9, 200000)
 	if err != nil {
 		t.Fatal(err)
 	}

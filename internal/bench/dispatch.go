@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+
+	// Every miner registers itself with the engine in its init; the
+	// blank imports make the full registry available so experiments
+	// dispatch by name instead of binding to per-miner entry points.
+	_ "repro/internal/carpenter"
+	_ "repro/internal/charm"
+	_ "repro/internal/closet"
+	_ "repro/internal/core"
+	_ "repro/internal/farmer"
+	_ "repro/internal/hybrid"
+)
+
+// mineVia runs one registered miner by name. All bench experiments go
+// through this single seam, so swapping or adding algorithms never
+// touches experiment code.
+func mineVia(ctx context.Context, name string, d *dataset.Dataset, opts engine.Options) (*engine.Result, engine.Stats, error) {
+	m, ok := engine.Lookup(name)
+	if !ok {
+		return nil, engine.Stats{}, fmt.Errorf("bench: no miner registered under %q", name)
+	}
+	return m.Mine(ctx, d, opts)
+}

@@ -1,14 +1,12 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
-	"repro/internal/charm"
-	"repro/internal/closet"
-	"repro/internal/core"
-	"repro/internal/farmer"
+	"repro/internal/engine"
 )
 
 // Fig6Point is one (algorithm, minsup) runtime measurement.
@@ -38,6 +36,9 @@ type Fig6Config struct {
 	IncludeColumnMiners bool
 	// Datasets filters by profile name; nil = all four.
 	Datasets []string
+	// Workers is the TopkRGS worker count (0 or 1 = sequential, the
+	// paper's setting; the baselines always run sequentially).
+	Workers int
 }
 
 // DefaultFig6Config mirrors the paper's sweep.
@@ -50,10 +51,19 @@ func DefaultFig6Config() Fig6Config {
 	}
 }
 
+// workersOr1 pins an unset worker count to sequential; engine adapters
+// treat 0 as "all cores", which a benchmark must never do implicitly.
+func workersOr1(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n
+}
+
 // Fig6 regenerates Figure 6(a-d): mining runtime versus minimum support
 // for MineTopkRGS (k=1 and k=100) against FARMER (naive engine),
 // FARMER+prefix, and optionally CHARM / CLOSET+.
-func Fig6(w io.Writer, cfg Fig6Config) ([]Fig6Point, error) {
+func Fig6(ctx context.Context, w io.Writer, cfg Fig6Config) ([]Fig6Point, error) {
 	if len(cfg.Minsups) == 0 {
 		cfg.Minsups = DefaultFig6Config().Minsups
 	}
@@ -74,7 +84,7 @@ func Fig6(w io.Writer, cfg Fig6Config) ([]Fig6Point, error) {
 		fmt.Fprintf(w, "%-8s %-22s %10s %10s\n", "minsup", "algorithm", "time", "groups")
 		for _, frac := range cfg.Minsups {
 			ms := minsupAbs(pr.dTrain, frac)
-			pts, err := fig6AtMinsup(pr, frac, ms, cfg)
+			pts, err := fig6AtMinsup(ctx, pr, frac, ms, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -100,8 +110,9 @@ func wantDataset(filter []string, name string) bool {
 	return false
 }
 
-// fig6AtMinsup times every algorithm at one support level.
-func fig6AtMinsup(pr *prepared, frac float64, ms int, cfg Fig6Config) ([]Fig6Point, error) {
+// fig6AtMinsup times every algorithm at one support level, dispatching
+// each through the engine registry.
+func fig6AtMinsup(ctx context.Context, pr *prepared, frac float64, ms int, cfg Fig6Config) ([]Fig6Point, error) {
 	var pts []Fig6Point
 	add := func(alg string, elapsed time.Duration, aborted bool, groups int) {
 		pts = append(pts, Fig6Point{
@@ -109,49 +120,48 @@ func fig6AtMinsup(pr *prepared, frac float64, ms int, cfg Fig6Config) ([]Fig6Poi
 			Elapsed: elapsed, Aborted: aborted, Groups: groups,
 		})
 	}
-
-	for _, k := range []int{1, 100} {
-		var groups int
-		aborted := false
+	run := func(alg, miner string, opts engine.Options, count func(*engine.Result) int) error {
+		var res *engine.Result
+		var stats engine.Stats
 		var err error
 		elapsed := timeIt(func() {
-			cc := core.DefaultConfig(ms, k)
-			cc.MaxNodes = cfg.TopkBudget
-			var res *core.Result
-			res, err = core.Mine(pr.dTrain, 0, cc)
-			if res != nil {
-				groups = len(res.Groups)
-				aborted = res.Stats.Aborted
-			}
+			res, stats, err = mineVia(ctx, miner, pr.dTrain, opts)
 		})
+		if err != nil {
+			return err
+		}
+		add(alg, elapsed, stats.Aborted, count(res))
+		return nil
+	}
+	groups := func(r *engine.Result) int { return len(r.Groups) }
+	closed := func(r *engine.Result) int { return len(r.Closed) }
+
+	for _, k := range []int{1, 100} {
+		err := run(fmt.Sprintf("TopkRGS(k=%d)", k), "topk", engine.Options{
+			K: k, Minsup: ms, MaxNodes: cfg.TopkBudget, Workers: workersOr1(cfg.Workers),
+		}, groups)
 		if err != nil {
 			return nil, err
 		}
-		add(fmt.Sprintf("TopkRGS(k=%d)", k), elapsed, aborted, groups)
 	}
 
 	for _, fc := range []struct {
 		name    string
-		engine  farmer.Engine
+		variant string
 		minconf float64
 	}{
-		{"FARMER+prefix(c=0.9)", farmer.EnginePrefix, 0.9},
-		{"FARMER+prefix(c=0)", farmer.EnginePrefix, 0},
-		{"FARMER(c=0.9)", farmer.EngineNaive, 0.9},
-		{"FARMER(c=0)", farmer.EngineNaive, 0},
+		{"FARMER+prefix(c=0.9)", "prefix", 0.9},
+		{"FARMER+prefix(c=0)", "prefix", 0},
+		{"FARMER(c=0.9)", "naive", 0.9},
+		{"FARMER(c=0)", "naive", 0},
 	} {
-		var res *farmer.Result
-		var err error
-		elapsed := timeIt(func() {
-			res, err = farmer.Mine(pr.dTrain, 0, farmer.Config{
-				Minsup: ms, Minconf: fc.minconf, Engine: fc.engine,
-				MaxNodes: cfg.BaselineBudget,
-			})
-		})
+		err := run(fc.name, "farmer", engine.Options{
+			Minsup: ms, Minconf: fc.minconf, Variant: fc.variant,
+			MaxNodes: cfg.BaselineBudget, Workers: 1,
+		}, groups)
 		if err != nil {
 			return nil, err
 		}
-		add(fc.name, elapsed, res.Aborted, len(res.Groups))
 	}
 
 	if cfg.IncludeColumnMiners {
@@ -159,27 +169,17 @@ func fig6AtMinsup(pr *prepared, frac float64, ms int, cfg Fig6Config) ([]Fig6Poi
 		// absolute threshold the rule miners use on the consequent class,
 		// the most favorable comparable setting.
 		colMS := ms
-		{
-			var res *charm.Result
-			var err error
-			elapsed := timeIt(func() {
-				res, err = charm.Mine(pr.dTrain, charm.Config{Minsup: colMS, MaxNodes: cfg.BaselineBudget})
-			})
-			if err != nil {
-				return nil, err
-			}
-			add("CHARM(diffsets)", elapsed, res.Aborted, len(res.Closed))
+		err := run("CHARM(diffsets)", "charm", engine.Options{
+			Minsup: colMS, MaxNodes: cfg.BaselineBudget,
+		}, closed)
+		if err != nil {
+			return nil, err
 		}
-		{
-			var res *closet.Result
-			var err error
-			elapsed := timeIt(func() {
-				res, err = closet.Mine(pr.dTrain, closet.Config{Minsup: colMS, MaxNodes: cfg.BaselineBudget})
-			})
-			if err != nil {
-				return nil, err
-			}
-			add("CLOSET+", elapsed, res.Aborted, len(res.Closed))
+		err = run("CLOSET+", "closet", engine.Options{
+			Minsup: colMS, MaxNodes: cfg.BaselineBudget,
+		}, closed)
+		if err != nil {
+			return nil, err
 		}
 	}
 	return pts, nil
@@ -187,7 +187,7 @@ func fig6AtMinsup(pr *prepared, frac float64, ms int, cfg Fig6Config) ([]Fig6Poi
 
 // Fig6e regenerates Figure 6(e): MineTopkRGS runtime versus k on the
 // ALL and PC datasets at a fixed relative support.
-func Fig6e(w io.Writer, scale Scale, minsupFrac float64, ks []int) ([]Fig6Point, error) {
+func Fig6e(ctx context.Context, w io.Writer, scale Scale, minsupFrac float64, ks []int, workers int) ([]Fig6Point, error) {
 	if len(ks) == 0 {
 		ks = []int{1, 20, 40, 60, 80, 100}
 	}
@@ -207,22 +207,20 @@ func Fig6e(w io.Writer, scale Scale, minsupFrac float64, ks []int) ([]Fig6Point,
 		header(w, fmt.Sprintf("Figure 6(e): runtime vs k on %s (minsup=%.2f)", p.Name, minsupFrac))
 		fmt.Fprintf(w, "%-6s %10s %10s\n", "k", "time", "groups")
 		for _, k := range ks {
-			var groups int
+			var res *engine.Result
 			var err error
 			elapsed := timeIt(func() {
-				var res *core.Result
-				res, err = core.Mine(pr.dTrain, 0, core.DefaultConfig(ms, k))
-				if res != nil {
-					groups = len(res.Groups)
-				}
+				res, _, err = mineVia(ctx, "topk", pr.dTrain, engine.Options{
+					K: k, Minsup: ms, Workers: workersOr1(workers),
+				})
 			})
 			if err != nil {
 				return nil, err
 			}
-			fmt.Fprintf(w, "%-6d %10s %10d\n", k, fmtDur(elapsed, false), groups)
+			fmt.Fprintf(w, "%-6d %10s %10d\n", k, fmtDur(elapsed, false), len(res.Groups))
 			out = append(out, Fig6Point{
 				Dataset: p.Name, Algorithm: fmt.Sprintf("TopkRGS(k=%d)", k),
-				Minsup: minsupFrac, Elapsed: elapsed, Groups: groups,
+				Minsup: minsupFrac, Elapsed: elapsed, Groups: len(res.Groups),
 			})
 		}
 	}

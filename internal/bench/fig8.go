@@ -1,12 +1,13 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
-	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/lowerbound"
 	"repro/internal/stats"
 )
@@ -38,7 +39,7 @@ type Fig8Result struct {
 // Fig8 regenerates Figure 8 on the PC dataset: chi-square based gene
 // ranks against the frequency with which each gene's items occur in the
 // shortest lower bounds of the top-1 covering rule groups.
-func Fig8(w io.Writer, scale Scale, nl int, topLabel int) (*Fig8Result, error) {
+func Fig8(ctx context.Context, w io.Writer, scale Scale, nl int, topLabel int) (*Fig8Result, error) {
 	if nl == 0 {
 		nl = 20
 	}
@@ -80,7 +81,9 @@ func Fig8(w io.Writer, scale Scale, nl int, topLabel int) (*Fig8Result, error) {
 		if ms < 1 {
 			ms = 1
 		}
-		res, err := core.Mine(d, dataset.Label(cls), core.DefaultConfig(ms, 1))
+		res, _, err := mineVia(ctx, "topk", d, engine.Options{
+			Class: dataset.Label(cls), K: 1, Minsup: ms, Workers: 1,
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -1,10 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 
-	"repro/internal/farmer"
+	"repro/internal/engine"
 )
 
 // GroupCountPoint records how many rule groups exist at one support
@@ -22,7 +23,7 @@ type GroupCountPoint struct {
 // GroupCount regenerates the Section 1 motivation: the total number of
 // rule groups (upper bounds) at the paper's confidence settings as
 // support drops, per dataset.
-func GroupCount(w io.Writer, scale Scale, minsups []float64, minconf float64, budget int) ([]GroupCountPoint, error) {
+func GroupCount(ctx context.Context, w io.Writer, scale Scale, minsups []float64, minconf float64, budget int) ([]GroupCountPoint, error) {
 	if len(minsups) == 0 {
 		minsups = []float64{0.95, 0.9, 0.85, 0.8}
 	}
@@ -39,15 +40,16 @@ func GroupCount(w io.Writer, scale Scale, minsups []float64, minconf float64, bu
 		}
 		for _, frac := range minsups {
 			ms := minsupAbs(pr.dTrain, frac)
-			res, err := farmer.Mine(pr.dTrain, 0, farmer.Config{
-				Minsup: ms, Minconf: minconf, Engine: farmer.EngineBitset, MaxNodes: budget,
+			res, stats, err := mineVia(ctx, "farmer", pr.dTrain, engine.Options{
+				Minsup: ms, Minconf: minconf, Variant: "bitset",
+				MaxNodes: budget, Workers: 1,
 			})
 			if err != nil {
 				return nil, err
 			}
 			pt := GroupCountPoint{
 				Dataset: p.Name, Minsup: frac, Minconf: minconf,
-				Groups: len(res.Groups), Capped: res.Aborted,
+				Groups: len(res.Groups), Capped: stats.Aborted,
 			}
 			out = append(out, pt)
 			capped := ""

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// SpeedupPoint is one worker-count measurement of the parallel
+// row-enumeration engine.
+type SpeedupPoint struct {
+	Dataset string
+	Workers int
+	Minsup  float64 // relative
+	K       int
+	Elapsed time.Duration
+	Speedup float64 // wall-time ratio versus the Workers=1 run
+	Groups  int
+}
+
+// ParallelSpeedup times MineTopkRGS on the PC profile (the paper's
+// hardest dataset) across worker counts. The parallel engine is
+// deterministic — every worker count produces byte-identical output —
+// so the only thing that varies is wall time; the group count is
+// reported to make the invariant visible in the table.
+func ParallelSpeedup(ctx context.Context, w io.Writer, scale Scale, minsupFrac float64, k int, workerCounts []int) ([]SpeedupPoint, error) {
+	if minsupFrac == 0 {
+		minsupFrac = 0.7
+	}
+	if k == 0 {
+		k = 10
+	}
+	if len(workerCounts) == 0 {
+		workerCounts = []int{1, 2, 4, 8}
+	}
+	pcProfile := profiles(scale)[3] // PC is the fourth Table 1 dataset
+	pr, err := prepare(pcProfile)
+	if err != nil {
+		return nil, err
+	}
+	ms := minsupAbs(pr.dTrain, minsupFrac)
+	header(w, fmt.Sprintf("Parallel speedup on %s (minsup=%.2f k=%d)", pcProfile.Name, minsupFrac, k))
+	fmt.Fprintf(w, "%-8s %10s %10s %10s\n", "workers", "time", "speedup", "groups")
+	var out []SpeedupPoint
+	var base time.Duration
+	for _, workers := range workerCounts {
+		var res *engine.Result
+		var err error
+		elapsed := timeIt(func() {
+			res, _, err = mineVia(ctx, "topk", pr.dTrain, engine.Options{
+				K: k, Minsup: ms, Workers: workersOr1(workers),
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		if base == 0 {
+			base = elapsed
+		}
+		pt := SpeedupPoint{
+			Dataset: pcProfile.Name, Workers: workersOr1(workers),
+			Minsup: minsupFrac, K: k, Elapsed: elapsed,
+			Speedup: base.Seconds() / elapsed.Seconds(), Groups: len(res.Groups),
+		}
+		out = append(out, pt)
+		fmt.Fprintf(w, "%-8d %10s %9.2fx %10d\n", pt.Workers, fmtDur(pt.Elapsed, false), pt.Speedup, pt.Groups)
+	}
+	return out, nil
+}

@@ -4,7 +4,7 @@
 // labels) by depth-first row-set enumeration with forward closure and
 // backward pruning.
 //
-// It is a thin instantiation of the shared engine in internal/rowenum
+// It is a thin instantiation of the shared engine in internal/engine
 // with every row treated as "positive", included both as a historical
 // baseline and as a cross-check for the column-enumeration miners
 // (CHARM, CLOSET+): all three must produce identical closed
@@ -12,31 +12,32 @@
 package carpenter
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
-	"repro/internal/rowenum"
+	"repro/internal/engine"
 )
 
 // ClosedItemset is one result: a closed itemset and its support over
 // all rows.
-type ClosedItemset struct {
-	Items   []int
-	Support int
-}
+type ClosedItemset = engine.ClosedItemset
 
 // Config parameterizes a run.
 type Config struct {
 	Minsup   int // absolute minimum support over all rows
 	MaxNodes int // 0 = unbounded
+	// Workers > 1 mines first-level subtrees on that many goroutines;
+	// output is identical to sequential output.
+	Workers int
 }
 
 // Result is the output of Mine.
 type Result struct {
 	Closed  []ClosedItemset
-	Stats   rowenum.Stats
+	Stats   engine.Stats
 	Aborted bool
 }
 
@@ -47,15 +48,30 @@ type visitor struct {
 	out     []ClosedItemset
 }
 
-func (v *visitor) UpdateThresholds(xPos, candPos []int) rowenum.Threshold {
-	return rowenum.Threshold{}
+func (v *visitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
+	return engine.Threshold{}
 }
 
-func (v *visitor) PruneBeforeScan(_ rowenum.Threshold, xp, xn, rp, rn int) bool {
+// Fork returns a private collector for one first-level subtree; the
+// members map is shared read-only.
+func (v *visitor) Fork() engine.Visitor {
+	return &visitor{minsup: v.minsup, members: v.members}
+}
+
+// Join concatenates the forks' itemsets in first-level task order — the
+// sequential discovery order (the final sort makes output order
+// canonical regardless, but determinism should not depend on it).
+func (v *visitor) Join(forks []engine.Visitor) {
+	for _, f := range forks {
+		v.out = append(v.out, f.(*visitor).out...)
+	}
+}
+
+func (v *visitor) PruneBeforeScan(_ engine.Threshold, xp, xn, rp, rn int) bool {
 	return xp+rp < v.minsup
 }
 
-func (v *visitor) PruneAfterScan(_ rowenum.Threshold, xp, xn, mp, rn int) bool {
+func (v *visitor) PruneAfterScan(_ engine.Threshold, xp, xn, mp, rn int) bool {
 	return xp+mp < v.minsup
 }
 
@@ -72,8 +88,16 @@ func (v *visitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []int)
 }
 
 // Mine discovers all closed itemsets of d with support >= cfg.Minsup
-// using row enumeration.
+// using row enumeration. It is MineContext without cancellation.
 func Mine(d *dataset.Dataset, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), d, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx cancellation or deadline
+// expiry stops the search at the next node and returns ctx.Err() with a
+// nil Result. A Config.MaxNodes abort is not an error — the partial
+// Result is returned with Aborted set.
+func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
 	if cfg.Minsup < 1 {
 		return nil, fmt.Errorf("carpenter: minsup must be >= 1, got %d", cfg.Minsup)
 	}
@@ -101,14 +125,18 @@ func Mine(d *dataset.Dataset, cfg Config) (*Result, error) {
 		v.members[rep] = append(v.members[rep], i)
 	}
 
-	eng := &rowenum.Engine{
+	eng := &engine.Enumerator{
 		NumRows:  n,
 		NumPos:   n, // unlabeled mining: every row counts toward support
 		ItemRows: itemRows,
 		Visitor:  v,
 		MaxNodes: cfg.MaxNodes,
+		Workers:  cfg.Workers,
 	}
-	stats := eng.Run(reps)
+	stats, err := eng.Run(ctx, reps)
+	if err != nil {
+		return nil, err
+	}
 
 	sort.Slice(v.out, func(i, j int) bool {
 		a, b := v.out[i], v.out[j]

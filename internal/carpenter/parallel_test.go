@@ -1,0 +1,88 @@
+package carpenter
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func randomDense(r *rand.Rand, rows, items int) *dataset.Dataset {
+	d := &dataset.Dataset{ClassNames: []string{"C"}}
+	for i := 0; i < items; i++ {
+		d.Items = append(d.Items, dataset.Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < rows; row++ {
+		var its []int
+		for i := 0; i < items; i++ {
+			if r.Intn(3) != 0 {
+				its = append(its, i)
+			}
+		}
+		d.Rows = append(d.Rows, its)
+		d.Labels = append(d.Labels, 0)
+	}
+	return d
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	d := randomDense(r, 20, 24)
+	for _, minsup := range []int{1, 3} {
+		seq, err := Mine(d, Config{Minsup: minsup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := Mine(d, Config{Minsup: minsup, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := fmt.Sprintf("minsup=%d workers=%d", minsup, workers)
+			if len(par.Closed) != len(seq.Closed) {
+				t.Fatalf("%s: %d closed sets vs %d", label, len(par.Closed), len(seq.Closed))
+			}
+			for i := range seq.Closed {
+				a, b := seq.Closed[i], par.Closed[i]
+				if a.Support != b.Support || len(a.Items) != len(b.Items) {
+					t.Fatalf("%s: closed set %d differs: %+v vs %+v", label, i, a, b)
+				}
+				for j := range a.Items {
+					if a.Items[j] != b.Items[j] {
+						t.Fatalf("%s: closed set %d items differ: %v vs %v", label, i, a.Items, b.Items)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestMineContextCancelled(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MineContext(ctx, d, Config{Minsup: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled mine must not return a result")
+	}
+}
+
+func TestMaxNodesAborts(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	d := randomDense(r, 16, 20)
+	for _, workers := range []int{1, 4} {
+		res, err := Mine(d, Config{Minsup: 1, MaxNodes: 5, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Aborted {
+			t.Fatalf("workers=%d: tiny budget must abort", workers)
+		}
+	}
+}

@@ -13,20 +13,20 @@
 package charm
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/rules"
 )
 
 // ClosedItemset is one result: a closed itemset and its support
 // (number of rows containing it, over the whole dataset).
-type ClosedItemset struct {
-	Items   []int
-	Support int
-}
+type ClosedItemset = engine.ClosedItemset
 
 // Config parameterizes a CHARM run.
 type Config struct {
@@ -42,10 +42,6 @@ type Result struct {
 	Aborted bool
 }
 
-type errAborted struct{}
-
-func (errAborted) Error() string { return "charm: node budget exhausted" }
-
 // candidate is an IT-node: extension items beyond the shared prefix,
 // its diffset relative to the prefix tidset, and its support.
 type candidate struct {
@@ -54,24 +50,32 @@ type candidate struct {
 	sup  int
 }
 
-type miner struct {
+type searcher struct {
 	cfg    Config
+	budget *engine.Budget
 	nodes  int
 	closed map[int][][]int // support -> closed itemsets (sorted items)
 	out    []ClosedItemset
 }
 
-// tick charges one work unit against the budget.
-func (m *miner) tick() {
+// tick charges one work unit against the budget; the returned error
+// (budget exhausted or context cancelled) unwinds the recursion.
+func (m *searcher) tick() error {
 	m.nodes++
-	if m.cfg.MaxNodes > 0 && m.nodes > m.cfg.MaxNodes {
-		// vetsuite:allow panic -- recovered in Mine: unwinds the recursion when the node budget is spent
-		panic(errAborted{})
-	}
+	return m.budget.Charge(1)
 }
 
 // Mine discovers all closed itemsets of d with support >= cfg.Minsup.
+// It is MineContext without cancellation.
 func Mine(d *dataset.Dataset, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), d, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx cancellation or deadline
+// expiry stops the search and returns ctx.Err() with a nil Result. A
+// Config.MaxNodes abort is not an error — the partial Result is
+// returned with Aborted set.
+func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
 	if cfg.Minsup < 1 {
 		return nil, fmt.Errorf("charm: minsup must be >= 1, got %d", cfg.Minsup)
 	}
@@ -94,20 +98,14 @@ func Mine(d *dataset.Dataset, cfg Config) (*Result, error) {
 	}
 	sortBySupport(cands)
 
-	m := &miner{cfg: cfg, closed: make(map[int][][]int)}
+	m := &searcher{cfg: cfg, budget: engine.NewBudget(ctx, cfg.MaxNodes), closed: make(map[int][][]int)}
 	res := &Result{}
-	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				if _, ok := rec.(errAborted); ok {
-					res.Aborted = true
-					return
-				}
-				panic(rec)
-			}
-		}()
-		m.extend(nil, cands)
-	}()
+	switch err := m.extend(nil, cands); {
+	case errors.Is(err, engine.ErrNodeBudget):
+		res.Aborted = true
+	case err != nil:
+		return nil, err
+	}
 	res.Closed = m.out
 	res.Nodes = m.nodes
 	sort.Slice(res.Closed, func(i, j int) bool {
@@ -134,20 +132,25 @@ func sortBySupport(cs []*candidate) {
 }
 
 // extend processes one prefix's candidate list (the CHARM-EXTEND loop).
-func (m *miner) extend(prefix []int, cands []*candidate) {
+func (m *searcher) extend(prefix []int, cands []*candidate) error {
 	for i := 0; i < len(cands); i++ {
 		ci := cands[i]
 		if ci == nil {
 			continue
 		}
-		m.tick()
+		if err := m.tick(); err != nil {
+			return err
+		}
 		var children []*candidate
 		for j := i + 1; j < len(cands); j++ {
 			cj := cands[j]
 			if cj == nil {
 				continue
 			}
-			m.tick() // budget tracks pair evaluations, the real unit of work
+			// budget tracks pair evaluations, the real unit of work
+			if err := m.tick(); err != nil {
+				return err
+			}
 			// t(P∪Xi) R t(P∪Xj) relations via diffsets:
 			// t equal      iff d_i == d_j
 			// t(i) ⊂ t(j)  iff d_i ⊃ d_j
@@ -187,15 +190,18 @@ func (m *miner) extend(prefix []int, cands []*candidate) {
 		sort.Ints(itemset)
 		if len(children) > 0 {
 			sortBySupport(children)
-			m.extend(itemset, children)
+			if err := m.extend(itemset, children); err != nil {
+				return err
+			}
 		}
 		m.addClosed(itemset, ci.sup)
 	}
+	return nil
 }
 
 // addClosed records the itemset unless a superset with equal support is
 // already known (the CHARM subsumption check, hashed by support).
-func (m *miner) addClosed(items []int, sup int) {
+func (m *searcher) addClosed(items []int, sup int) {
 	for _, z := range m.closed[sup] {
 		if isSubset(items, z) {
 			return

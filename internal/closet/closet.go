@@ -10,18 +10,18 @@
 package closet
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 // ClosedItemset mirrors charm.ClosedItemset: a closed itemset and its
 // support over all rows.
-type ClosedItemset struct {
-	Items   []int
-	Support int
-}
+type ClosedItemset = engine.ClosedItemset
 
 // Config parameterizes a run.
 type Config struct {
@@ -35,10 +35,6 @@ type Result struct {
 	Nodes   int
 	Aborted bool
 }
-
-type errAborted struct{}
-
-func (errAborted) Error() string { return "closet: node budget exhausted" }
 
 // fpNode is one FP-tree node.
 type fpNode struct {
@@ -84,24 +80,32 @@ func (t *fpTree) insert(items []int, count int) {
 	}
 }
 
-type miner struct {
+type grower struct {
 	cfg    Config
+	budget *engine.Budget
 	nodes  int
 	closed map[int][][]int
 	out    []ClosedItemset
 }
 
-// tick charges n work units against the budget.
-func (m *miner) tick(n int) {
+// tick charges n work units against the budget; the returned error
+// (budget exhausted or context cancelled) unwinds the recursion.
+func (m *grower) tick(n int) error {
 	m.nodes += n
-	if m.cfg.MaxNodes > 0 && m.nodes > m.cfg.MaxNodes {
-		// vetsuite:allow panic -- recovered in Mine: unwinds the recursion when the node budget is spent
-		panic(errAborted{})
-	}
+	return m.budget.Charge(n)
 }
 
 // Mine discovers all closed itemsets of d with support >= cfg.Minsup.
+// It is MineContext without cancellation.
 func Mine(d *dataset.Dataset, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), d, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx cancellation or deadline
+// expiry stops the search and returns ctx.Err() with a nil Result. A
+// Config.MaxNodes abort is not an error — the partial Result is
+// returned with Aborted set.
+func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
 	if cfg.Minsup < 1 {
 		return nil, fmt.Errorf("closet: minsup must be >= 1, got %d", cfg.Minsup)
 	}
@@ -121,20 +125,14 @@ func Mine(d *dataset.Dataset, cfg Config) (*Result, error) {
 		}
 	}
 
-	m := &miner{cfg: cfg, closed: map[int][][]int{}}
+	m := &grower{cfg: cfg, budget: engine.NewBudget(ctx, cfg.MaxNodes), closed: map[int][][]int{}}
 	res := &Result{}
-	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				if _, ok := rec.(errAborted); ok {
-					res.Aborted = true
-					return
-				}
-				panic(rec)
-			}
-		}()
-		m.mineTree(tree, nil, orderOf)
-	}()
+	switch err := m.mineTree(tree, nil, orderOf); {
+	case errors.Is(err, engine.ErrNodeBudget):
+		res.Aborted = true
+	case err != nil:
+		return nil, err
+	}
 	res.Closed = m.out
 	res.Nodes = m.nodes
 	sort.Slice(res.Closed, func(i, j int) bool {
@@ -196,8 +194,10 @@ func filterSort(row []int, sup []int, minsup int, orderOf []int) []int {
 
 // mineTree performs pattern growth on a (conditional) FP-tree with the
 // given prefix itemset.
-func (m *miner) mineTree(t *fpTree, prefix []int, orderOf []int) {
-	m.tick(1)
+func (m *grower) mineTree(t *fpTree, prefix []int, orderOf []int) error {
+	if err := m.tick(1); err != nil {
+		return err
+	}
 
 	// Header items in ascending support order (bottom-up growth).
 	var items []int
@@ -222,7 +222,10 @@ func (m *miner) mineTree(t *fpTree, prefix []int, orderOf []int) {
 			for a := n.parent; a != nil && a.item != -1; a = a.parent {
 				p = append(p, a.item)
 			}
-			m.tick(1 + len(p)) // budget tracks real path-collection work
+			// budget tracks real path-collection work
+			if err := m.tick(1 + len(p)); err != nil {
+				return err
+			}
 			base = append(base, path{items: p, count: n.count})
 			for _, x := range p {
 				condCount[x] += n.count
@@ -259,15 +262,18 @@ func (m *miner) mineTree(t *fpTree, prefix []int, orderOf []int) {
 			}
 		}
 		if len(cond.counts) > 0 {
-			m.mineTree(cond, newPrefix, orderOf)
+			if err := m.mineTree(cond, newPrefix, orderOf); err != nil {
+				return err
+			}
 		}
 		m.addClosed(newPrefix, sup)
 	}
+	return nil
 }
 
 // addClosed records the itemset unless a known superset has the same
 // support (subsumption check, hashed by support).
-func (m *miner) addClosed(items []int, sup int) {
+func (m *grower) addClosed(items []int, sup int) {
 	for _, z := range m.closed[sup] {
 		if isSubset(items, z) {
 			return

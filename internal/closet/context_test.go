@@ -1,0 +1,22 @@
+package closet
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestMineContextCancelled(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := MineContext(ctx, d, Config{Minsup: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled mine must not return a result")
+	}
+}

@@ -7,13 +7,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
-	"repro/internal/rowenum"
+	"repro/internal/engine"
 	"repro/internal/rules"
 )
 
@@ -46,6 +47,10 @@ type Config struct {
 	// nodes; Result.Stats.Aborted reports the cutoff and the per-row
 	// lists hold the best groups seen so far (possibly incomplete).
 	MaxNodes int
+	// Workers > 1 mines first-level subtrees on that many goroutines;
+	// output is deterministically identical to sequential mining. 0 or 1
+	// runs sequentially.
+	Workers int
 }
 
 // DefaultConfig returns the paper's configuration with all
@@ -73,14 +78,23 @@ type Result struct {
 	// use original row ids.
 	Groups []*rules.Group
 	// Stats reports the enumeration work (node counts, prunes).
-	Stats rowenum.Stats
+	Stats engine.Stats
 	// NumFrequentItems is the item count after Step 1's frequency filter.
 	NumFrequentItems int
 }
 
 // Mine discovers the top-k covering rule groups for every row of class
-// cls in d (Algorithm MineTopkRGS).
+// cls in d (Algorithm MineTopkRGS). It is MineContext without
+// cancellation.
 func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), d, cls, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx cancellation or deadline
+// expiry stops the enumeration at the next node and returns ctx.Err()
+// with a nil Result. A Config.MaxNodes abort is not an error — the
+// partial Result is returned with Stats.Aborted set.
+func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("core: k must be >= 1, got %d", cfg.K)
 	}
@@ -155,16 +169,25 @@ func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
 	reps, members := dedupItems(itemRows, freqItems)
 	v.members = members
 
-	// Steps 5-14: depth-first enumeration.
-	eng := &rowenum.Engine{
+	// Steps 5-14: depth-first enumeration, parallel across first-level
+	// subtrees when cfg.Workers > 1.
+	if cfg.Workers > 1 {
+		v.floors = engine.NewFloors(numPos)
+	}
+	eng := &engine.Enumerator{
 		NumRows:         d.NumRows(),
 		NumPos:          numPos,
 		ItemRows:        itemRows,
 		Visitor:         v,
 		DisableBackward: !cfg.BackwardPruning,
 		MaxNodes:        cfg.MaxNodes,
+		Workers:         cfg.Workers,
 	}
-	res.Stats = eng.Run(reps)
+	stats, err := eng.Run(ctx, reps)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
 
 	// Post-pass: replace remaining single-item seeds with the upper
 	// bound of their rule group (I(R(item)) over frequent items).
@@ -264,6 +287,10 @@ type topkVisitor struct {
 	lists     []*rules.TopKList // per reordered positive row
 	effMinsup int               // dynamically raised when DynamicMinsup
 
+	// floors is the cross-worker threshold board, non-nil only for
+	// parallel runs (Config.Workers > 1).
+	floors *engine.Floors
+
 	// provisional single-item seeds: group -> item id, resolved after
 	// mining into their true upper bounds.
 	provisional map[*rules.Group]int
@@ -325,13 +352,13 @@ func (v *topkVisitor) resolveSeeds(itemRows []*bitset.Set, freqItems []int) {
 
 // UpdateThresholds is Step 8: the weakest (conf, sup) threshold across
 // the rows reachable from the current node.
-func (v *topkVisitor) UpdateThresholds(xPos, candPos []int) rowenum.Threshold {
+func (v *topkVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
 	v.updateCalls++
 	if v.cfg.DynamicMinsup && v.updateCalls%64 == 0 {
 		v.maybeRaiseMinsup()
 	}
 	if !v.cfg.TopKPruning {
-		return rowenum.Threshold{}
+		return engine.Threshold{}
 	}
 	minC := math.Inf(1)
 	minS := math.MaxInt
@@ -348,7 +375,7 @@ func (v *topkVisitor) UpdateThresholds(xPos, candPos []int) rowenum.Threshold {
 	if math.IsInf(minC, 1) {
 		minC, minS = 0, 0 // no reachable positive rows: node is sterile anyway
 	}
-	return rowenum.Threshold{Conf: minC, Sup: minS}
+	return engine.Threshold{Conf: minC, Sup: minS}
 }
 
 // maybeRaiseMinsup implements the second Section 4.1.1 optimization:
@@ -375,7 +402,7 @@ func (v *topkVisitor) maybeRaiseMinsup() {
 
 // qualifies reports whether a subtree whose best possible group has the
 // given (confidence, support) upper bounds could still beat th.
-func qualifies(th rowenum.Threshold, ubConf float64, ubSup int) bool {
+func qualifies(th engine.Threshold, ubConf float64, ubSup int) bool {
 	if c := rules.CompareConf(ubConf, th.Conf); c != 0 {
 		return c > 0
 	}
@@ -383,7 +410,7 @@ func qualifies(th rowenum.Threshold, ubConf float64, ubSup int) bool {
 }
 
 // PruneBeforeScan is Step 9 (loose bounds).
-func (v *topkVisitor) PruneBeforeScan(th rowenum.Threshold, xp, xn, rp, rn int) bool {
+func (v *topkVisitor) PruneBeforeScan(th engine.Threshold, xp, xn, rp, rn int) bool {
 	ubSup := xp + rp
 	if ubSup < v.effMinsup {
 		return true
@@ -396,7 +423,7 @@ func (v *topkVisitor) PruneBeforeScan(th rowenum.Threshold, xp, xn, rp, rn int) 
 }
 
 // PruneAfterScan is Step 11 (tight bounds).
-func (v *topkVisitor) PruneAfterScan(th rowenum.Threshold, xp, xn, mp, rn int) bool {
+func (v *topkVisitor) PruneAfterScan(th engine.Threshold, xp, xn, mp, rn int) bool {
 	ubSup := xp + mp
 	if ubSup < v.effMinsup {
 		return true
@@ -424,6 +451,14 @@ func (v *topkVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []
 		return
 	}
 	conf := float64(xp) / float64(xp+xn)
+	v.apply(func() []int { return v.expand(items) }, rows, conf, xp, xPos)
+}
+
+// apply is the Step 13 list maintenance shared by live OnGroup events
+// and the deterministic replay of worker-recorded events during Join:
+// offer the group to every covered row's list, building it lazily on
+// first acceptance. antecedent is called at most once.
+func (v *topkVisitor) apply(antecedent func() []int, rows *bitset.Set, conf float64, xp int, xPos []int) {
 	var g *rules.Group // built on first acceptance
 	for _, p := range xPos {
 		l := v.lists[p]
@@ -444,7 +479,7 @@ func (v *topkVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []
 		}
 		if g == nil {
 			g = &rules.Group{
-				Antecedent: v.expand(items),
+				Antecedent: antecedent(),
 				Class:      v.cls,
 				Support:    xp,
 				Confidence: conf,

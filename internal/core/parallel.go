@@ -1,0 +1,282 @@
+// Parallel MineTopkRGS: the topkVisitor forks one workerVisitor per
+// first-level subtree of the row enumeration tree. Workers mine with
+// private cloned top-k lists (scratch state, later discarded), share
+// dynamic thresholds through an engine.Floors board, and record the
+// group events that survive their pruning. Join replays those events in
+// exact depth-first order through the sequential Step 13 logic, which
+// makes parallel output identical to sequential output:
+//
+//   - a worker only suppresses (prunes or drops) work that is strictly
+//     below a threshold published from a full top-k list — a valid
+//     lower bound of the final threshold of every covered row — so no
+//     member of any final list is ever suppressed (ties are kept);
+//   - every surviving event is replayed through the unmodified
+//     sequential list update at its sequential position, so extra
+//     events a sequential run would have pruned are rejected the same
+//     way the sequential run rejects them.
+package core
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/engine"
+	"repro/internal/rules"
+)
+
+// Fork returns the private visitor for one first-level subtree: cloned
+// per-row lists seeded with everything known at dispatch time, the
+// parent's current effective minsup, and a snapshot of the shared
+// threshold board.
+func (v *topkVisitor) Fork() engine.Visitor {
+	w := &workerVisitor{
+		parent:    v,
+		cfg:       v.cfg,
+		effMinsup: v.effMinsup,
+		floors:    v.floors,
+		lists:     make([]*rules.TopKList, len(v.lists)),
+		floorConf: make([]float64, len(v.lists)),
+		floorSup:  make([]int, len(v.lists)),
+	}
+	for p, l := range v.lists {
+		w.lists[p] = l.Clone()
+	}
+	if w.floors != nil {
+		w.floors.Sync(w.floorConf, w.floorSup)
+	}
+	return w
+}
+
+// Join replays every fork's recorded events, in first-level task order,
+// through the sequential Step 13 logic. The forks' own lists are
+// scratch and die here; only the replay mutates v.lists.
+func (v *topkVisitor) Join(forks []engine.Visitor) {
+	for _, f := range forks {
+		w := f.(*workerVisitor)
+		for _, ev := range w.events {
+			items := ev.items
+			conf := float64(ev.xp) / float64(ev.xp+ev.xn)
+			v.apply(func() []int { return items }, ev.rows, conf, ev.xp, ev.xPos)
+		}
+	}
+}
+
+// groupEvent is one OnGroup invocation a worker kept: enough to replay
+// Step 13 exactly. The antecedent is pre-expanded (the members map is
+// read-only during mining, so workers may share it).
+type groupEvent struct {
+	items  []int
+	rows   *bitset.Set
+	xp, xn int
+	xPos   []int
+}
+
+// syncInterval is how many nodes a worker mines between exchanges with
+// the shared floors board. Small enough that one worker's full lists
+// sharpen the others within a subtree, large enough that the mutex
+// stays off the hot path.
+const syncInterval = 4
+
+// workerVisitor mines one first-level subtree on a worker goroutine. It
+// owns every mutable structure it touches; the only shared state is the
+// read-only parent (cfg, members) and the mutex-guarded floors board.
+type workerVisitor struct {
+	parent *topkVisitor
+	cfg    Config
+
+	// lists are clones of the parent's per-row lists, evolved privately
+	// with this subtree's events. Their thresholds prune locally and are
+	// published to floors when full; the lists are discarded at Join.
+	lists []*rules.TopKList
+	// effMinsup starts from the parent's fork-time value; worker raises
+	// go to the minimum k-th support (without the sequential +1: a +1
+	// would prune support ties that the sequential run keeps, and tie
+	// rejection is replay's job).
+	effMinsup int
+
+	// floors is the shared board; floorConf/floorSup are this worker's
+	// snapshot of it, refreshed by periodic Sync calls.
+	floors    *engine.Floors
+	floorConf []float64
+	floorSup  []int
+
+	updateCalls int
+	events      []groupEvent
+}
+
+// thresholdAt returns row p's pruning threshold: the stronger of the
+// local list's and the floor snapshot's.
+func (w *workerVisitor) thresholdAt(p int) (float64, int) {
+	c, s := w.lists[p].Threshold()
+	if cmp := rules.CompareConf(w.floorConf[p], c); cmp > 0 || (cmp == 0 && w.floorSup[p] > s) {
+		return w.floorConf[p], w.floorSup[p]
+	}
+	return c, s
+}
+
+// syncFloors publishes the thresholds of full local lists to the shared
+// board and refreshes the snapshot. Only full lists publish: a non-full
+// list's threshold is (0,0) by construction, and a full list's k-th
+// entry is a genuine group of every covered row, so its threshold can
+// only underestimate the row's final one — exactly what makes the board
+// safe to prune with.
+func (w *workerVisitor) syncFloors() {
+	if w.floors == nil {
+		return
+	}
+	for p, l := range w.lists {
+		if l.Len() < l.K() {
+			continue
+		}
+		c, s := l.Threshold()
+		if cmp := rules.CompareConf(c, w.floorConf[p]); cmp > 0 || (cmp == 0 && s > w.floorSup[p]) {
+			w.floorConf[p], w.floorSup[p] = c, s
+		}
+	}
+	w.floors.Sync(w.floorConf, w.floorSup)
+}
+
+// UpdateThresholds mirrors the sequential Step 8 scan, but each row's
+// threshold also consults the floors snapshot, so one worker's full
+// lists sharpen every other worker's pruning.
+func (w *workerVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
+	w.updateCalls++
+	// Forks are built before any worker starts, so the snapshot taken at
+	// fork time is stale by the time a late task runs: refresh on the
+	// first node, then every syncInterval nodes.
+	if w.updateCalls == 1 || w.updateCalls%syncInterval == 0 {
+		w.syncFloors()
+		if w.cfg.DynamicMinsup {
+			w.maybeRaiseMinsup()
+		}
+	}
+	if !w.cfg.TopKPruning {
+		return engine.Threshold{}
+	}
+	minC := math.Inf(1)
+	minS := math.MaxInt
+	scan := func(rs []int) {
+		for _, p := range rs {
+			c, s := w.thresholdAt(p)
+			if c < minC || (c == minC && s < minS) {
+				minC, minS = c, s
+			}
+		}
+	}
+	scan(xPos)
+	scan(candPos)
+	if math.IsInf(minC, 1) {
+		minC, minS = 0, 0 // no reachable positive rows: node is sterile anyway
+	}
+	return engine.Threshold{Conf: minC, Sup: minS}
+}
+
+// maybeRaiseMinsup is the worker form of the dynamic support raise:
+// when every local list is full at 100% confidence, supports strictly
+// below the smallest k-th support cannot qualify anywhere. Unlike the
+// sequential raise there is no +1 — ties must survive to replay.
+func (w *workerVisitor) maybeRaiseMinsup() {
+	minKthSup := math.MaxInt
+	for _, l := range w.lists {
+		if l.Len() < l.K() {
+			return
+		}
+		c, s := l.Threshold()
+		if c < 1.0 {
+			return
+		}
+		if s < minKthSup {
+			minKthSup = s
+		}
+	}
+	if minKthSup > w.effMinsup {
+		w.effMinsup = minKthSup
+	}
+}
+
+// qualifiesTieOK is the worker form of qualifies: a subtree survives
+// unless its upper bound is strictly below the threshold. Workers may
+// hold thresholds that the sequential run only reaches later, so the
+// tie case — which sequential pruning cuts — must be kept here and left
+// to replay-time rejection.
+func qualifiesTieOK(th engine.Threshold, ubConf float64, ubSup int) bool {
+	if c := rules.CompareConf(ubConf, th.Conf); c != 0 {
+		return c > 0
+	}
+	return ubSup >= th.Sup
+}
+
+// PruneBeforeScan is Step 9 with tie-keeping bounds.
+func (w *workerVisitor) PruneBeforeScan(th engine.Threshold, xp, xn, rp, rn int) bool {
+	ubSup := xp + rp
+	if ubSup < w.effMinsup {
+		return true
+	}
+	if !w.cfg.TopKPruning {
+		return false
+	}
+	ubConf := float64(ubSup) / float64(ubSup+xn)
+	return !qualifiesTieOK(th, ubConf, ubSup)
+}
+
+// PruneAfterScan is Step 11 with tie-keeping bounds.
+func (w *workerVisitor) PruneAfterScan(th engine.Threshold, xp, xn, mp, rn int) bool {
+	ubSup := xp + mp
+	if ubSup < w.effMinsup {
+		return true
+	}
+	if !w.cfg.TopKPruning {
+		return false
+	}
+	ubConf := float64(ubSup) / float64(ubSup+xn)
+	return !qualifiesTieOK(th, ubConf, ubSup)
+}
+
+// OnGroup records the event for replay unless it is strictly below the
+// threshold of every covered row (in which case no final list can ever
+// admit it), and mirrors the sequential list update on the local clones
+// so the worker's own thresholds keep tightening.
+func (w *workerVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []int) {
+	if xp < w.cfg.Minsup {
+		return
+	}
+	conf := float64(xp) / float64(xp+xn)
+	keep := false
+	for _, p := range xPos {
+		c, s := w.thresholdAt(p)
+		if cmp := rules.CompareConf(conf, c); cmp > 0 || (cmp == 0 && xp >= s) {
+			keep = true
+			break
+		}
+	}
+	if !keep {
+		return
+	}
+	// xPos is freshly allocated per node by the engine; items aliases a
+	// reused buffer, but expansion copies it. The expanded antecedent is
+	// recorded so replay never needs the worker alive.
+	ev := groupEvent{items: w.parent.expand(items), rows: rows, xp: xp, xn: xn, xPos: xPos}
+	w.events = append(w.events, ev)
+
+	var g *rules.Group
+	for _, p := range xPos {
+		l := w.lists[p]
+		if !l.Qualifies(conf, xp) {
+			continue
+		}
+		dup := false
+		for _, g0 := range l.Groups() {
+			if rules.CompareConf(g0.Confidence, conf) == 0 && g0.Support == xp && g0.Rows != nil && g0.Rows.Equal(rows) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		if g == nil {
+			g = &rules.Group{Antecedent: ev.items, Class: w.parent.cls, Support: xp, Confidence: conf, Rows: rows}
+		}
+		l.Consider(g)
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+// sameResults fails the test unless a and b are deep-equal mining
+// results: identical per-row lists (same order, same group contents)
+// and identical global group slices.
+func sameResults(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	sameGroup := func(where string, x, y *rules.Group) {
+		t.Helper()
+		if rules.CompareConf(x.Confidence, y.Confidence) != 0 || x.Support != y.Support ||
+			x.Class != y.Class || len(x.Antecedent) != len(y.Antecedent) {
+			t.Fatalf("%s %s: group differs: %v (%.4f,%d) vs %v (%.4f,%d)",
+				label, where, x.Antecedent, x.Confidence, x.Support, y.Antecedent, y.Confidence, y.Support)
+		}
+		for i := range x.Antecedent {
+			if x.Antecedent[i] != y.Antecedent[i] {
+				t.Fatalf("%s %s: antecedents differ: %v vs %v", label, where, x.Antecedent, y.Antecedent)
+			}
+		}
+		if (x.Rows == nil) != (y.Rows == nil) || (x.Rows != nil && !x.Rows.Equal(y.Rows)) {
+			t.Fatalf("%s %s: row sets differ", label, where)
+		}
+	}
+	if len(a.PerRow) != len(b.PerRow) {
+		t.Fatalf("%s: PerRow sizes differ: %d vs %d", label, len(a.PerRow), len(b.PerRow))
+	}
+	for row, ga := range a.PerRow {
+		gb, ok := b.PerRow[row]
+		if !ok || len(ga) != len(gb) {
+			t.Fatalf("%s row %d: list lengths differ: %d vs %d (present=%v)", label, row, len(ga), len(gb), ok)
+		}
+		for i := range ga {
+			sameGroup(fmt.Sprintf("row %d rank %d", row, i), ga[i], gb[i])
+		}
+	}
+	if len(a.Groups) != len(b.Groups) {
+		t.Fatalf("%s: Groups lengths differ: %d vs %d", label, len(a.Groups), len(b.Groups))
+	}
+	for i := range a.Groups {
+		sameGroup(fmt.Sprintf("Groups[%d]", i), a.Groups[i], b.Groups[i])
+	}
+}
+
+// workerCounts are the parallelism levels the determinism oracle runs;
+// CI exercises this test under -race with 2 and 8 among them.
+func workerCounts() []int {
+	return []int{2, 8, runtime.GOMAXPROCS(0)}
+}
+
+func TestParallelMatchesSequentialRunningExample(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	for cls := dataset.Label(0); cls <= 1; cls++ {
+		for _, k := range []int{1, 3} {
+			cfg := DefaultConfig(2, k)
+			seq, err := Mine(d, cls, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range workerCounts() {
+				cfg.Workers = workers
+				par, err := Mine(d, cls, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sameResults(t, fmt.Sprintf("cls=%d k=%d workers=%d", cls, k, workers), seq, par)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequentialRandomCorpus(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		d := randomDataset(r)
+		minsup := 1 + r.Intn(2)
+		k := 1 + r.Intn(3)
+		cfg := DefaultConfig(minsup, k)
+		seq, err := Mine(d, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range workerCounts() {
+			cfg.Workers = workers
+			par, err := Mine(d, 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameResults(t, fmt.Sprintf("trial=%d minsup=%d k=%d workers=%d", trial, minsup, k, workers), seq, par)
+		}
+	}
+}
+
+// wideDataset builds a dataset big enough that parallel runs really
+// overlap: rows*items with ~2/3 density and alternating labels.
+func wideDataset(r *rand.Rand, rows, items int) *dataset.Dataset {
+	d := &dataset.Dataset{ClassNames: []string{"C", "notC"}}
+	for i := 0; i < items; i++ {
+		d.Items = append(d.Items, dataset.Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < rows; row++ {
+		var its []int
+		for i := 0; i < items; i++ {
+			if r.Intn(3) != 0 {
+				its = append(its, i)
+			}
+		}
+		d.Rows = append(d.Rows, its)
+		d.Labels = append(d.Labels, dataset.Label(row%2))
+	}
+	return d
+}
+
+func TestParallelMatchesSequentialWide(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	d := wideDataset(r, 24, 30)
+	cfg := DefaultConfig(2, 2)
+	seq, err := Mine(d, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range workerCounts() {
+		cfg.Workers = workers
+		par, err := Mine(d, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResults(t, fmt.Sprintf("wide workers=%d", workers), seq, par)
+	}
+}
+
+func TestMineContextCancelled(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		cfg := DefaultConfig(2, 1)
+		cfg.Workers = workers
+		res, err := MineContext(ctx, d, 0, cfg)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if res != nil {
+			t.Fatalf("workers=%d: cancelled mine must not return a result", workers)
+		}
+	}
+}
+
+func TestMineContextDeadline(t *testing.T) {
+	// A dataset dense enough that the search cannot finish within the
+	// deadline: the run must come back promptly with the context error.
+	r := rand.New(rand.NewSource(3))
+	d := wideDataset(r, 60, 200)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	cfg := DefaultConfig(1, 20)
+	cfg.Workers = 4
+	_, err := MineContext(ctx, d, 0, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+func TestMaxNodesPartialResultParallel(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	d := wideDataset(r, 24, 30)
+	cfg := DefaultConfig(2, 2)
+	cfg.MaxNodes = 50
+	cfg.Workers = 4
+	res, err := Mine(d, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Aborted {
+		t.Fatal("tiny budget must abort")
+	}
+}

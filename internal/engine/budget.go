@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+)
+
+// ErrNodeBudget is the sentinel the mining recursions return up the
+// stack when Options.MaxNodes is exhausted. It replaces the old
+// panic-based long-jump: budget exhaustion is an expected, data-sized
+// outcome, so it travels as an error value. Run-level entry points
+// translate it into Stats.Aborted and a nil error; only context errors
+// (cancellation, deadline) surface to callers.
+var ErrNodeBudget = errors.New("engine: node budget exhausted")
+
+// Budget meters enumeration work against a node cap and a context.
+// One Budget is shared by every worker of a run: the node counter is
+// atomic, so a parallel search stops within one node of the cap, and
+// cancelling the context stops all workers at their next node entry.
+type Budget struct {
+	ctx      context.Context
+	maxNodes int64
+	nodes    atomic.Int64
+}
+
+// NewBudget returns a budget charging against ctx and maxNodes
+// (0 = no node cap). A nil ctx means context.Background().
+func NewBudget(ctx context.Context, maxNodes int) *Budget {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Budget{ctx: ctx, maxNodes: int64(maxNodes)}
+}
+
+// Charge debits n work units. It returns the context's error when the
+// run is cancelled or past its deadline, ErrNodeBudget when the node
+// cap is exhausted, and nil otherwise. Cancellation wins over the cap,
+// so a cancelled run reports ctx.Err() rather than a budget abort.
+func (b *Budget) Charge(n int) error {
+	if err := b.ctx.Err(); err != nil {
+		return err
+	}
+	v := b.nodes.Add(int64(n))
+	if b.maxNodes > 0 && v > b.maxNodes {
+		return ErrNodeBudget
+	}
+	return nil
+}
+
+// Nodes returns the work units charged so far.
+func (b *Budget) Nodes() int { return int(b.nodes.Load()) }
+
+// maxProcs is the Workers default.
+func maxProcs() int { return runtime.GOMAXPROCS(0) }

@@ -1,0 +1,168 @@
+package engine
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/rules"
+)
+
+// ParallelVisitor is the contract for the parallel mode: a visitor that
+// can split into independent per-subtree forks and later fold them back
+// deterministically. Visitors that do not implement it run sequentially
+// regardless of Workers.
+type ParallelVisitor interface {
+	Visitor
+
+	// Fork returns a visitor owning its own scratch state for one
+	// first-level subtree. Fork is called on the dispatching goroutine
+	// after the root visit has quiesced, before any worker starts; the
+	// returned visitor must not share mutable state with the parent
+	// visitor or other forks (shared read-only data and explicitly
+	// synchronized structures like Floors are fine).
+	Fork() Visitor
+
+	// Join folds the forks back into the parent, in first-level task
+	// order (the exact order sequential DFS would have visited the
+	// subtrees). Every entry is non-nil and quiescent; a deterministic
+	// replay of fork events in this order reproduces sequential output.
+	Join(forks []Visitor)
+}
+
+// runParallel enumerates the root node on the caller's goroutine,
+// collecting its children as tasks, builds one fork of the visitor and
+// one private sub-enumerator per task (cloned scratch, shared read-only
+// ItemRows, shared Budget) before any worker starts, then lets Workers
+// goroutines claim task indices in DFS order. The goroutines see only
+// the prebuilt per-task slices — no bitset crosses into a worker except
+// inside the task it exclusively owns. Forks are joined in task order,
+// which is what makes parallel output identical to sequential output.
+func (e *Enumerator) runParallel(pv ParallelVisitor, root task) error {
+	var tasks []task
+	e.spawn = func(t task) error {
+		// visitNode reuses its child item buffer between iterations;
+		// retained tasks need their own copy.
+		t.items = append([]int(nil), t.items...)
+		tasks = append(tasks, t)
+		return nil
+	}
+	if err := e.visitNode(root); err != nil {
+		if errors.Is(err, ErrNodeBudget) {
+			e.stats.Aborted = true
+		}
+		return err
+	}
+
+	workers := e.Workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers <= 1 {
+		// Zero or one subtree: nothing to distribute.
+		e.spawn = e.enumerate
+		for _, t := range tasks {
+			if err := e.enumerate(t); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e.stats.Workers = workers
+
+	forks := make([]Visitor, len(tasks))
+	subs := make([]*Enumerator, len(tasks))
+	errs := make([]error, len(tasks))
+	for i := range tasks {
+		fork := pv.Fork()
+		forks[i] = fork
+		sub := &Enumerator{
+			NumRows:         e.NumRows,
+			NumPos:          e.NumPos,
+			ItemRows:        e.ItemRows,
+			Visitor:         fork,
+			DisableBackward: e.DisableBackward,
+			budget:          e.budget,
+		}
+		sub.spawn = sub.enumerate
+		subs[i] = sub
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) {
+					return
+				}
+				errs[i] = subs[i].enumerate(tasks[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	var budgetErr, ctxErr error
+	for _, err := range errs {
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrNodeBudget):
+			if budgetErr == nil {
+				budgetErr = err
+			}
+		case ctxErr == nil:
+			ctxErr = err
+		}
+	}
+	for i := range subs {
+		e.stats.merge(subs[i].stats)
+	}
+	if ctxErr != nil {
+		// Cancellation: the caller gets ctx.Err() and discards results,
+		// so there is nothing worth joining.
+		return ctxErr
+	}
+	// On a budget abort the partial forks still hold valid groups; join
+	// them so the caller sees the same partial-result semantics as a
+	// sequential abort.
+	pv.Join(forks)
+	return budgetErr
+}
+
+// Floors is the cross-worker dynamic-threshold board for parallel top-k
+// mining: one (confidence, support) floor per positive row, monotone
+// non-decreasing in the (CompareConf, support) order. Workers carry a
+// private snapshot and call Sync periodically, so top-k pruning
+// tightens across subtree boundaries without a lock on the hot path.
+// Floors only ever carries thresholds that are valid lower bounds for
+// sequential execution (published from full top-k lists), which is why
+// sharing them cannot change the final result set.
+type Floors struct {
+	mu   sync.Mutex
+	conf []float64
+	sup  []int
+}
+
+// NewFloors returns a zeroed board over numPos positive rows.
+func NewFloors(numPos int) *Floors {
+	return &Floors{conf: make([]float64, numPos), sup: make([]int, numPos)}
+}
+
+// Sync exchanges thresholds with the board under one lock: each of the
+// caller's per-row floors is max-merged into the board, then the board
+// is copied back into the caller's slices. Both slices must have the
+// board's length.
+func (f *Floors) Sync(conf []float64, sup []int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range conf {
+		c := rules.CompareConf(conf[i], f.conf[i])
+		if c > 0 || (c == 0 && sup[i] > f.sup[i]) {
+			f.conf[i], f.sup[i] = conf[i], sup[i]
+		}
+	}
+	copy(conf, f.conf)
+	copy(sup, f.sup)
+}

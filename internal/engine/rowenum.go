@@ -1,39 +1,11 @@
-// Package rowenum implements the depth-first row enumeration skeleton
-// shared by MineTopkRGS (internal/core) and the FARMER baseline
-// (internal/farmer): the search over the row enumeration tree of Figure
-// 2, with forward closure, backward (closedness) pruning, and visitor
-// hooks where each miner plugs in its own threshold logic.
-//
-// The engine works on a row-reordered view of the dataset: rows
-// 0..NumPos-1 carry the specified consequent class ("positive"), the
-// rest are negative — the class dominant order of Definition 3.1.
-// Item supports are bitsets over these reordered row ids, so closure is
-// a word-wise intersection and projection is a membership filter.
-package rowenum
+package engine
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/bitset"
 )
-
-// Stats counts the work performed by one enumeration run.
-type Stats struct {
-	Nodes            int // enumeration nodes entered
-	BackwardPruned   int // nodes cut by the closedness check (Step 7)
-	PrunedBeforeScan int // nodes cut by loose bounds (Step 9)
-	PrunedAfterScan  int // nodes cut by tight bounds (Step 11)
-	Groups           int // OnGroup invocations
-	MaxDepth         int
-	Aborted          bool // true when MaxNodes stopped the search early
-}
-
-// Threshold is the dynamic pruning threshold computed at a node (Step
-// 8): the weakest (confidence, support) pair a subtree must beat. The
-// engine holds it per node, so recursion into children — which compute
-// their own, tighter thresholds — cannot leak into sibling checks.
-type Threshold struct {
-	Conf float64
-	Sup  int
-}
 
 // Visitor receives enumeration events and owns all threshold logic.
 // Hooks are called in the Step order of Algorithm MineTopkRGS (Figure
@@ -60,11 +32,13 @@ type Visitor interface {
 	OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []int)
 }
 
-// Engine runs the enumeration. Configure the fields, then call Run.
-type Engine struct {
+// Enumerator runs the row enumeration. Configure the fields, then call
+// Run. A single Enumerator is not safe for concurrent Run calls; the
+// parallel mode spawns its own per-worker sub-enumerators internally.
+type Enumerator struct {
 	NumRows  int           // total rows
 	NumPos   int           // rows 0..NumPos-1 are the consequent class
-	ItemRows []*bitset.Set // full support set per item id
+	ItemRows []*bitset.Set // full support set per item id; read-only during Run
 	Visitor  Visitor
 
 	// DisableBackward turns off the closedness check (ablation only:
@@ -74,44 +48,66 @@ type Engine struct {
 	// Stats.Aborted reports the cutoff. Results seen so far remain valid
 	// but possibly incomplete.
 	MaxNodes int
+	// Workers > 1 enables the parallel mode when the Visitor implements
+	// ParallelVisitor: first-level subtrees are dispatched to a worker
+	// pool and merged deterministically. <= 1 runs sequentially.
+	Workers int
 
-	stats Stats
+	budget *Budget
+	spawn  func(task) error
+	stats  Stats
 }
 
-// errAborted unwinds the recursion when the node budget is exhausted.
-type errAborted struct{}
-
-func (errAborted) Error() string { return "rowenum: node budget exhausted" }
+// task is one enumeration node: the pending row set x (not yet closed),
+// the alive items, the candidate rows (all ids >= minNext, ascending),
+// and the depth. First-level tasks are the parallel work units.
+type task struct {
+	x       *bitset.Set
+	items   []int
+	cand    []int
+	minNext int
+	depth   int
+}
 
 // Run enumerates starting from the given alive item list (the frequent
-// items, ascending) and returns work statistics.
-func (e *Engine) Run(items []int) Stats {
-	e.stats = Stats{}
+// items, ascending) and returns work statistics. The context is checked
+// at every node entry: cancellation and deadline expiry return ctx.Err()
+// promptly; a MaxNodes abort is reported via Stats.Aborted with a nil
+// error (partial results in the visitor remain valid).
+func (e *Enumerator) Run(ctx context.Context, items []int) (Stats, error) {
+	e.stats = Stats{Workers: 1}
 	if len(items) == 0 || e.NumRows == 0 {
-		return e.stats
+		return e.stats, nil
 	}
+	e.budget = NewBudget(ctx, e.MaxNodes)
 	cand := make([]int, e.NumRows)
 	for i := range cand {
 		cand[i] = i
 	}
-	x := bitset.New(e.NumRows)
-	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				if _, ok := rec.(errAborted); ok {
-					e.stats.Aborted = true
-					return
-				}
-				panic(rec)
-			}
-		}()
-		e.enumerate(x, items, cand, 0, 0)
-	}()
-	return e.stats
+	root := task{x: bitset.New(e.NumRows), items: items, cand: cand}
+
+	var err error
+	if pv, ok := e.Visitor.(ParallelVisitor); ok && e.Workers > 1 {
+		err = e.runParallel(pv, root)
+	} else {
+		e.spawn = e.enumerate
+		err = e.enumerate(root)
+	}
+	if errors.Is(err, ErrNodeBudget) {
+		e.stats.Aborted = true
+		err = nil
+	}
+	return e.stats, err
+}
+
+// enumerate recurses depth-first: visit the node, then spawn children
+// back into enumerate via e.spawn.
+func (e *Enumerator) enumerate(t task) error {
+	return e.visitNode(t)
 }
 
 // posSplit splits an ascending candidate list at NumPos.
-func (e *Engine) posSplit(cand []int) (pos, neg []int) {
+func (e *Enumerator) posSplit(cand []int) (pos, neg []int) {
 	i := 0
 	for i < len(cand) && cand[i] < e.NumPos {
 		i++
@@ -119,58 +115,58 @@ func (e *Engine) posSplit(cand []int) (pos, neg []int) {
 	return cand[:i], cand[i:]
 }
 
-// enumerate visits the node whose pending row set is x (not yet closed),
-// with alive items, candidate rows cand (all ids >= minNext, ascending),
-// at the given depth.
-func (e *Engine) enumerate(x *bitset.Set, items []int, cand []int, minNext, depth int) {
+// visitNode processes one enumeration node and hands each surviving
+// child to e.spawn (direct recursion when sequential, task collection
+// at the parallel root). Child tasks alias a reused item buffer: spawn
+// implementations that retain a task beyond the call must copy items.
+func (e *Enumerator) visitNode(t task) error {
 	e.stats.Nodes++
-	if e.MaxNodes > 0 && e.stats.Nodes > e.MaxNodes {
-		// vetsuite:allow panic -- recovered in Run: unwinds the recursion when the node budget is spent
-		panic(errAborted{})
+	if err := e.budget.Charge(1); err != nil {
+		return err
 	}
-	if depth > e.stats.MaxDepth {
-		e.stats.MaxDepth = depth
+	if t.depth > e.stats.MaxDepth {
+		e.stats.MaxDepth = t.depth
 	}
 
-	xp := x.CountBelow(e.NumPos)
-	xn := x.Count() - xp
-	candPos, candNeg := e.posSplit(cand)
+	xp := t.x.CountBelow(e.NumPos)
+	xn := t.x.Count() - xp
+	candPos, candNeg := e.posSplit(t.cand)
 
 	// Step 8: dynamic thresholds over the rows this subtree can cover.
-	th := e.Visitor.UpdateThresholds(posIndices(x, e.NumPos), candPos)
+	th := e.Visitor.UpdateThresholds(posIndices(t.x, e.NumPos), candPos)
 
 	// Step 9: loose bounds using inherited candidate counts.
 	if e.Visitor.PruneBeforeScan(th, xp, xn, len(candPos), len(candNeg)) {
 		e.stats.PrunedBeforeScan++
-		return
+		return nil
 	}
 
 	// Closure: R(I(X)) = ∩_{i ∈ I(X)} R(i).
-	closed := e.ItemRows[items[0]].Clone()
-	for _, it := range items[1:] {
+	closed := e.ItemRows[t.items[0]].Clone()
+	for _, it := range t.items[1:] {
 		closed.IntersectWith(e.ItemRows[it])
 	}
 
 	// Step 7: backward pruning — a row ordered before the enumeration
 	// point that is in R(I(X)) but not in X means this closed set was
 	// already reached under an earlier branch.
-	if !e.DisableBackward && closed.AnyBelow(minNext, x) {
+	if !e.DisableBackward && closed.AnyBelow(t.minNext, t.x) {
 		e.stats.BackwardPruned++
-		return
+		return nil
 	}
 
 	// Step 10: forward closure — candidates inside R(I(X)) join X; the
 	// rest survive iff some tuple still contains them.
 	xp = closed.CountBelow(e.NumPos)
 	xn = closed.Count() - xp
-	survivors := cand[:0:0] // fresh slice, no aliasing of cand
+	survivors := t.cand[:0:0] // fresh slice, no aliasing of cand
 	mp := 0
-	for _, r := range cand {
+	for _, r := range t.cand {
 		if closed.Contains(r) {
 			continue
 		}
 		alive := false
-		for _, it := range items {
+		for _, it := range t.items {
 			if e.ItemRows[it].Contains(r) {
 				alive = true
 				break
@@ -199,13 +195,13 @@ func (e *Engine) enumerate(x *bitset.Set, items []int, cand []int, minNext, dept
 	th = e.Visitor.UpdateThresholds(xPosClosed, survPos)
 	if e.Visitor.PruneAfterScan(th, xp, xn, mp, len(survivors)-mp) {
 		e.stats.PrunedAfterScan++
-		return
+		return nil
 	}
 
 	// Steps 12-13: report the group at this node.
 	if xp > 0 {
 		e.stats.Groups++
-		e.Visitor.OnGroup(items, closed, xp, xn, xPosClosed)
+		e.Visitor.OnGroup(t.items, closed, xp, xn, xPosClosed)
 	}
 
 	// Step 14: descend into each surviving candidate in ORD order. Each
@@ -214,7 +210,7 @@ func (e *Engine) enumerate(x *bitset.Set, items []int, cand []int, minNext, dept
 	// child's reachable rows, so conservative): children that cannot
 	// contribute are skipped without paying a recursive call and a fresh
 	// threshold scan.
-	childItems := make([]int, 0, len(items))
+	childItems := make([]int, 0, len(t.items))
 	posLeft := mp
 	for i, r := range survivors {
 		childXp, childXn := xp, xn
@@ -230,7 +226,7 @@ func (e *Engine) enumerate(x *bitset.Set, items []int, cand []int, minNext, dept
 			continue
 		}
 		childItems = childItems[:0]
-		for _, it := range items {
+		for _, it := range t.items {
 			if e.ItemRows[it].Contains(r) {
 				childItems = append(childItems, it)
 			}
@@ -240,8 +236,13 @@ func (e *Engine) enumerate(x *bitset.Set, items []int, cand []int, minNext, dept
 		}
 		childX := closed.Clone()
 		childX.Add(r)
-		e.enumerate(childX, childItems, survivors[i+1:], r+1, depth+1)
+		if err := e.spawn(task{
+			x: childX, items: childItems, cand: survivors[i+1:], minNext: r + 1, depth: t.depth + 1,
+		}); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // posIndices returns the elements of s below limit, ascending.

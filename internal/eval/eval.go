@@ -34,6 +34,9 @@ type Options struct {
 	// LBMaxLen / LBMaxCandidates bound lower-bound searches.
 	LBMaxLen        int
 	LBMaxCandidates int
+	// Workers is the RCBT mining worker count (0 or 1 = sequential;
+	// accuracy is unaffected, only training wall time).
+	Workers int
 	// Skip disables named classifiers (keys of Result.Accuracy).
 	Skip map[string]bool
 }
@@ -150,6 +153,7 @@ func Evaluate(train, test *dataset.Matrix, opts Options) (*Result, error) {
 		c, err := rcbt.Train(dTrain, rcbt.Config{
 			K: opts.K, NL: opts.NL, MinsupFrac: opts.MinsupFrac,
 			LBMaxLen: opts.LBMaxLen, LBMaxCandidates: opts.LBMaxCandidates,
+			Workers: opts.Workers,
 		})
 		if err != nil {
 			res.Errors[NameRCBT] = err.Error()

@@ -19,13 +19,15 @@
 package farmer
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/prefixtree"
-	"repro/internal/rowenum"
 	"repro/internal/rules"
 	"repro/internal/transpose"
 )
@@ -68,6 +70,10 @@ type Config struct {
 	// enumeration nodes; Result.Aborted reports the cutoff. Used to
 	// bound baseline runs that would not otherwise terminate.
 	MaxNodes int
+	// Workers > 1 mines first-level subtrees on that many goroutines
+	// (bitset engine only; the table engines are sequential). Output is
+	// identical to sequential output.
+	Workers int
 }
 
 // Result holds the discovered rule groups.
@@ -76,17 +82,21 @@ type Result struct {
 	// Minsup and confidence >= Minconf, sorted by significance. Row sets
 	// use original row ids.
 	Groups  []*rules.Group
-	Stats   rowenum.Stats
+	Stats   engine.Stats
 	Aborted bool // true when MaxNodes stopped the search early
 }
 
-// errAborted unwinds the recursion when the node budget is exhausted.
-type errAborted struct{}
-
-func (errAborted) Error() string { return "farmer: node budget exhausted" }
-
-// Mine discovers all interesting rule groups of class cls in d.
+// Mine discovers all interesting rule groups of class cls in d. It is
+// MineContext without cancellation.
 func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), d, cls, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx cancellation or deadline
+// expiry stops the search at the next node and returns ctx.Err() with a
+// nil Result. A Config.MaxNodes abort is not an error — the partial
+// Result is returned with Aborted set.
+func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
 	if cfg.Minsup < 1 {
 		return nil, fmt.Errorf("farmer: minsup must be >= 1, got %d", cfg.Minsup)
 	}
@@ -119,9 +129,9 @@ func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
 
 	switch cfg.Engine {
 	case EngineBitset:
-		return mineBitset(d, cls, cfg, freqItems, order, numPos)
+		return mineBitset(ctx, d, cls, cfg, freqItems, order, numPos)
 	case EnginePrefix, EngineNaive:
-		return mineTable(d, cls, cfg, freqItems, order, numPos)
+		return mineTable(ctx, d, cls, cfg, freqItems, order, numPos)
 	default:
 		return nil, fmt.Errorf("farmer: unknown engine %d", cfg.Engine)
 	}
@@ -207,11 +217,29 @@ func (v *staticVisitor) chiUpperBound(xpNow, xnNow, xpMax, xnMax int) float64 {
 	return best
 }
 
-func (v *staticVisitor) UpdateThresholds(xPos, candPos []int) rowenum.Threshold {
-	return rowenum.Threshold{}
+func (v *staticVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
+	return engine.Threshold{}
 }
 
-func (v *staticVisitor) PruneBeforeScan(_ rowenum.Threshold, xp, xn, rp, rn int) bool {
+// Fork returns a private visitor for one first-level subtree: the
+// thresholds are static, so workers share nothing but read-only
+// configuration.
+func (v *staticVisitor) Fork() engine.Visitor {
+	return &staticVisitor{
+		minsup: v.minsup, minconf: v.minconf, minchi: v.minchi,
+		totalPos: v.totalPos, totalNeg: v.totalNeg, cls: v.cls,
+	}
+}
+
+// Join concatenates the forks' groups in first-level task order, which
+// is exactly the order a sequential run discovers them in.
+func (v *staticVisitor) Join(forks []engine.Visitor) {
+	for _, f := range forks {
+		v.groups = append(v.groups, f.(*staticVisitor).groups...)
+	}
+}
+
+func (v *staticVisitor) PruneBeforeScan(_ engine.Threshold, xp, xn, rp, rn int) bool {
 	ubSup := xp + rp
 	if ubSup < v.minsup {
 		return true
@@ -227,7 +255,7 @@ func (v *staticVisitor) PruneBeforeScan(_ rowenum.Threshold, xp, xn, rp, rn int)
 	return false
 }
 
-func (v *staticVisitor) PruneAfterScan(_ rowenum.Threshold, xp, xn, mp, rn int) bool {
+func (v *staticVisitor) PruneAfterScan(_ engine.Threshold, xp, xn, mp, rn int) bool {
 	ubSup := xp + mp
 	if ubSup < v.minsup {
 		return true
@@ -263,7 +291,7 @@ func (v *staticVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos 
 	})
 }
 
-func mineBitset(d *dataset.Dataset, cls dataset.Label, cfg Config, freqItems, order []int, numPos int) (*Result, error) {
+func mineBitset(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg Config, freqItems, order []int, numPos int) (*Result, error) {
 	newID := make([]int, d.NumRows())
 	for newR, origR := range order {
 		newID[origR] = newR
@@ -281,14 +309,18 @@ func mineBitset(d *dataset.Dataset, cls dataset.Label, cfg Config, freqItems, or
 		minsup: cfg.Minsup, minconf: cfg.Minconf, minchi: cfg.MinChi,
 		totalPos: numPos, totalNeg: d.NumRows() - numPos, cls: cls,
 	}
-	eng := &rowenum.Engine{
+	eng := &engine.Enumerator{
 		NumRows:  d.NumRows(),
 		NumPos:   numPos,
 		ItemRows: itemRows,
 		Visitor:  v,
 		MaxNodes: cfg.MaxNodes,
+		Workers:  cfg.Workers,
 	}
-	stats := eng.Run(freqItems)
+	stats, err := eng.Run(ctx, freqItems)
+	if err != nil {
+		return nil, err
+	}
 	res := &Result{Stats: stats, Aborted: stats.Aborted}
 	for _, g := range v.groups {
 		remapped := bitset.New(d.NumRows())
@@ -316,7 +348,8 @@ type tableMiner struct {
 	numItems int
 
 	groups []*rules.Group
-	stats  rowenum.Stats
+	stats  engine.Stats
+	budget *engine.Budget
 }
 
 // node abstracts the two table representations.
@@ -371,7 +404,7 @@ func (n prefixNode) projectAll(cands []int) []node {
 	return out
 }
 
-func mineTable(d *dataset.Dataset, cls dataset.Label, cfg Config, freqItems, order []int, numPos int) (*Result, error) {
+func mineTable(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg Config, freqItems, order []int, numPos int) (*Result, error) {
 	reordered := d.Reorder(order)
 	isFreq := make([]bool, d.NumItems())
 	for _, it := range freqItems {
@@ -415,18 +448,14 @@ func mineTable(d *dataset.Dataset, cls dataset.Label, cfg Config, freqItems, ord
 	}
 
 	res := &Result{}
-	func() {
-		defer func() {
-			if rec := recover(); rec != nil {
-				if _, ok := rec.(errAborted); ok {
-					res.Aborted = true
-					return
-				}
-				panic(rec)
-			}
-		}()
-		m.enumerate(root, bitset.New(m.numRows), 0)
-	}()
+	m.budget = engine.NewBudget(ctx, cfg.MaxNodes)
+	switch err := m.enumerate(root, bitset.New(m.numRows), 0); {
+	case errors.Is(err, engine.ErrNodeBudget):
+		res.Aborted = true
+		m.stats.Aborted = true
+	case err != nil:
+		return nil, err
+	}
 
 	res.Stats = m.stats
 	for _, g := range m.groups {
@@ -443,15 +472,14 @@ func mineTable(d *dataset.Dataset, cls dataset.Label, cfg Config, freqItems, ord
 }
 
 // enumerate visits node n representing TT|x with candidates >= minNext.
-func (m *tableMiner) enumerate(n node, x *bitset.Set, minNext int) {
+func (m *tableMiner) enumerate(n node, x *bitset.Set, minNext int) error {
 	m.stats.Nodes++
-	if m.cfg.MaxNodes > 0 && m.stats.Nodes > m.cfg.MaxNodes {
-		// vetsuite:allow panic -- recovered in Mine: unwinds the recursion when the node budget is spent
-		panic(errAborted{})
+	if err := m.budget.Charge(1); err != nil {
+		return err
 	}
 	items, freq, tuples := n.analyze()
 	if len(items) == 0 {
-		return
+		return nil
 	}
 
 	// Backward closedness check against rows ordered before minNext:
@@ -463,7 +491,7 @@ func (m *tableMiner) enumerate(n node, x *bitset.Set, minNext int) {
 	for r := 0; r < minNext; r++ {
 		if !x.Contains(r) && m.rowItems[r].ContainsAll(itemSet) {
 			m.stats.BackwardPruned++
-			return
+			return nil
 		}
 	}
 
@@ -496,12 +524,12 @@ func (m *tableMiner) enumerate(n node, x *bitset.Set, minNext int) {
 	ubSup := xp + mp
 	if ubSup < m.cfg.Minsup {
 		m.stats.PrunedAfterScan++
-		return
+		return nil
 	}
 	if m.cfg.Minconf > 0 {
 		if ubConf := float64(ubSup) / float64(ubSup+xn); ubConf < m.cfg.Minconf {
 			m.stats.PrunedAfterScan++
-			return
+			return nil
 		}
 	}
 
@@ -531,6 +559,9 @@ func (m *tableMiner) enumerate(n node, x *bitset.Set, minNext int) {
 	for i, r := range cands {
 		childX := closed.Clone()
 		childX.Add(r)
-		m.enumerate(children[i], childX, r+1)
+		if err := m.enumerate(children[i], childX, r+1); err != nil {
+			return err
+		}
 	}
+	return nil
 }

@@ -1,0 +1,102 @@
+package farmer
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/rules"
+)
+
+// randomDense builds a dataset with enough closed structure that the
+// parallel workers genuinely overlap.
+func randomDense(r *rand.Rand, rows, items int) *dataset.Dataset {
+	d := &dataset.Dataset{ClassNames: []string{"C", "notC"}}
+	for i := 0; i < items; i++ {
+		d.Items = append(d.Items, dataset.Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < rows; row++ {
+		var its []int
+		for i := 0; i < items; i++ {
+			if r.Intn(3) != 0 {
+				its = append(its, i)
+			}
+		}
+		d.Rows = append(d.Rows, its)
+		d.Labels = append(d.Labels, dataset.Label(row%2))
+	}
+	return d
+}
+
+func sameGroups(t *testing.T, label string, a, b []*rules.Group) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: %d groups vs %d", label, len(a), len(b))
+	}
+	for i := range a {
+		x, y := a[i], b[i]
+		if rules.CompareConf(x.Confidence, y.Confidence) != 0 || x.Support != y.Support ||
+			len(x.Antecedent) != len(y.Antecedent) || !x.Rows.Equal(y.Rows) {
+			t.Fatalf("%s: group %d differs", label, i)
+		}
+		for j := range x.Antecedent {
+			if x.Antecedent[j] != y.Antecedent[j] {
+				t.Fatalf("%s: group %d antecedents differ: %v vs %v", label, i, x.Antecedent, y.Antecedent)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	d := randomDense(r, 20, 24)
+	for _, minconf := range []float64{0, 0.6} {
+		cfg := Config{Minsup: 2, Minconf: minconf, Engine: EngineBitset}
+		seq, err := Mine(d, 0, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			cfg.Workers = workers
+			par, err := Mine(d, 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameGroups(t, fmt.Sprintf("minconf=%v workers=%d", minconf, workers), seq.Groups, par.Groups)
+		}
+	}
+}
+
+func TestMineContextCancelledAllEngines(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, eng := range []Engine{EngineBitset, EnginePrefix, EngineNaive} {
+		cfg := Config{Minsup: 1, Engine: eng}
+		res, err := MineContext(ctx, d, 0, cfg)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("engine %s: err = %v, want context.Canceled", eng, err)
+		}
+		if res != nil {
+			t.Fatalf("engine %s: cancelled mine must not return a result", eng)
+		}
+	}
+}
+
+func TestMaxNodesAbortsAllEngines(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	d := randomDense(r, 16, 20)
+	for _, eng := range []Engine{EngineBitset, EnginePrefix, EngineNaive} {
+		cfg := Config{Minsup: 1, Engine: eng, MaxNodes: 5}
+		res, err := Mine(d, 0, cfg)
+		if err != nil {
+			t.Fatalf("engine %s: %v", eng, err)
+		}
+		if !res.Aborted || !res.Stats.Aborted {
+			t.Fatalf("engine %s: tiny budget must abort (Aborted=%v Stats.Aborted=%v)", eng, res.Aborted, res.Stats.Aborted)
+		}
+	}
+}

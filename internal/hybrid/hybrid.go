@@ -20,6 +20,7 @@
 package hybrid
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -38,6 +39,9 @@ type Config struct {
 	// over the whole table restricted to those items (0 = no cap; all
 	// partitions are mined regardless of size).
 	MaxPartitionRows int
+	// Workers is forwarded to the per-partition core runs (0 or 1 =
+	// sequential).
+	Workers int
 }
 
 // Result mirrors core.Result.
@@ -48,8 +52,16 @@ type Result struct {
 }
 
 // Mine discovers the top-k covering rule groups of class cls by
-// column-partitioned row enumeration.
+// column-partitioned row enumeration. It is MineContext without
+// cancellation.
 func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
+	return MineContext(context.Background(), d, cls, cfg)
+}
+
+// MineContext is Mine with cancellation: ctx cancellation or deadline
+// expiry stops the in-progress partition and returns ctx.Err() with a
+// nil Result.
+func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
 	if cfg.K < 1 {
 		return nil, fmt.Errorf("hybrid: k must be >= 1, got %d", cfg.K)
 	}
@@ -97,7 +109,7 @@ func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
 		}
 		partitionKeys[key] = true
 		res.Partitions++
-		if err := minePartition(d, cls, cfg, rows.Indices(), lists, seen); err != nil {
+		if err := minePartition(ctx, d, cls, cfg, rows.Indices(), lists, seen); err != nil {
 			return nil, err
 		}
 	}
@@ -111,7 +123,7 @@ func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
 			return rows.IntersectionCount(pos) >= cfg.Minsup && rows.Count() > cfg.MaxPartitionRows
 		})
 		if wide.NumItems() > 0 {
-			sub, err := core.Mine(wide, cls, core.DefaultConfig(cfg.Minsup, cfg.K))
+			sub, err := core.MineContext(ctx, wide, cls, coreConfig(cfg))
 			if err != nil {
 				return nil, err
 			}
@@ -152,11 +164,18 @@ func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// coreConfig maps the hybrid configuration onto a core run.
+func coreConfig(cfg Config) core.Config {
+	c := core.DefaultConfig(cfg.Minsup, cfg.K)
+	c.Workers = cfg.Workers
+	return c
+}
+
 // minePartition runs the row-enumeration core on the sub-dataset of the
 // given rows and merges the discovered groups into the global lists.
-func minePartition(d *dataset.Dataset, cls dataset.Label, cfg Config, rows []int, lists map[int]*rules.TopKList, seen map[string]bool) error {
+func minePartition(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg Config, rows []int, lists map[int]*rules.TopKList, seen map[string]bool) error {
 	sub := d.Subset(rows)
-	res, err := core.Mine(sub, cls, core.DefaultConfig(cfg.Minsup, cfg.K))
+	res, err := core.MineContext(ctx, sub, cls, coreConfig(cfg))
 	if err != nil {
 		return err
 	}

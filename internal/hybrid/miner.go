@@ -1,0 +1,34 @@
+package hybrid
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// miner adapts hybrid column-then-row mining to the engine.Miner
+// interface under the name "hybrid".
+type miner struct{}
+
+func (miner) Name() string { return "hybrid" }
+
+func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Result, engine.Stats, error) {
+	cfg := Config{
+		K:                opts.K,
+		Minsup:           opts.Minsup,
+		MaxPartitionRows: opts.MaxPartitionRows,
+		Workers:          opts.EffectiveWorkers(),
+	}
+	res, err := MineContext(ctx, d, opts.Class, cfg)
+	if err != nil {
+		return nil, engine.Stats{}, err
+	}
+	return &engine.Result{
+		PerRow:     res.PerRow,
+		Groups:     res.Groups,
+		Partitions: res.Partitions,
+	}, engine.Stats{Groups: len(res.Groups), Workers: 1}, nil
+}
+
+func init() { engine.Register(miner{}) }

@@ -30,6 +30,9 @@ type Config struct {
 	// LBMaxLen / LBMaxCandidates bound the FindLB search (0 = defaults).
 	LBMaxLen        int
 	LBMaxCandidates int
+	// Workers is the mining worker count per class (0 or 1 =
+	// sequential); the trained classifier is identical either way.
+	Workers int
 }
 
 // DefaultConfig mirrors the paper's RCBT setup (k=10, nl=20,
@@ -90,7 +93,9 @@ func Train(d *dataset.Dataset, cfg Config) (*Classifier, error) {
 		if minsup < 1 {
 			minsup = 1
 		}
-		res, err := core.Mine(d, label, core.DefaultConfig(minsup, cfg.K))
+		mc := core.DefaultConfig(minsup, cfg.K)
+		mc.Workers = cfg.Workers
+		res, err := core.Mine(d, label, mc)
 		if err != nil {
 			return nil, fmt.Errorf("rcbt: mining class %s: %v", d.ClassNames[cls], err)
 		}
