@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet analyze test race bench experiments fuzz clean
+.PHONY: all build vet analyze test race bench perf experiments fuzz clean
 
 all: build vet analyze test
 
@@ -27,6 +27,13 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
+# Perf trajectory: Mine benchmarks with allocation counts, plus the
+# miner×workers nodes/sec table archived as BENCH_fig6.json. Compare the
+# JSON against the checked-in copy to judge a kernel change.
+perf:
+	$(GO) test -run '^$$' -bench 'Mine' -benchmem -count=5 ./...
+	$(GO) run ./cmd/benchrunner -exp perf -scale 30
+
 # Paper-scale regeneration of every table and figure into results/.
 experiments:
 	mkdir -p results
@@ -50,6 +57,7 @@ fuzz:
 	$(GO) test -fuzz FuzzReadMatrix -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzReadDataset -fuzztime 30s ./internal/dataset/
 	$(GO) test -fuzz FuzzSetOps -fuzztime 30s ./internal/bitset/
+	$(GO) test -fuzz FuzzFusedOps -fuzztime 30s ./internal/bitset/
 	$(GO) test -fuzz FuzzDiscretize -fuzztime 30s ./internal/discretize/
 
 clean:

@@ -18,6 +18,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -26,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig6e, table2, fig7, fig8, defaultclass, minsupsweep, groupcount, topgenes, ablation, parallelspeedup, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig6e, table2, fig7, fig8, defaultclass, minsupsweep, groupcount, topgenes, ablation, parallelspeedup, perf, all")
 	scale := flag.Int("scale", 1, "gene-count divisor (1 = paper scale)")
 	budget := flag.Int("budget", 3_000_000, "baseline node budget before DNF")
 	topkBudget := flag.Int("topkbudget", 0, "optional MineTopkRGS node budget in fig6 (0 = unbounded)")
@@ -37,6 +39,8 @@ func main() {
 	workers := flag.Int("workers", 1, "TopkRGS enumeration workers in mining experiments (0 = all cores)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 	workerSweep := flag.String("workersweep", "", "comma-separated worker counts for parallelspeedup (e.g. 1,2,4,8)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
 
 	ctx := context.Background()
@@ -44,6 +48,35 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+				return
+			}
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+			}
+			_ = f.Close()
+		}()
 	}
 	s := bench.Scale(*scale)
 	w := os.Stdout
@@ -167,6 +200,41 @@ func main() {
 		}
 		_, err := bench.AblationPruning(ctx, w, s, 0.8, 10, *budget)
 		return err
+	})
+	run("perf", func() error {
+		var workerList []int
+		if *workerSweep != "" {
+			for _, c := range strings.Split(*workerSweep, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(c))
+				if err != nil {
+					return fmt.Errorf("bad -workersweep entry %q: %v", c, err)
+				}
+				workerList = append(workerList, v)
+			}
+		}
+		pts, err := bench.PerfTrajectory(ctx, w, bench.PerfConfig{
+			Scale: s, Budget: *budget, Workers: workerList,
+		})
+		if err != nil {
+			return err
+		}
+		// The trajectory is archived across PRs: default the JSON path to
+		// the checked-in name (it measures the fig6 PC profile).
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_fig6.json"
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pts); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
 	})
 	run("parallelspeedup", func() error {
 		var counts []int

@@ -30,14 +30,16 @@ var BitsetAliasAnalyzer = &Analyzer{
 
 // bitsetMutators are the in-place *bitset.Set methods.
 var bitsetMutators = map[string]bool{
-	"Add":            true,
-	"Remove":         true,
-	"Clear":          true,
-	"Fill":           true,
-	"IntersectWith":  true,
-	"UnionWith":      true,
-	"DifferenceWith": true,
-	"CopyFrom":       true,
+	"Add":                 true,
+	"Remove":              true,
+	"Clear":               true,
+	"Fill":                true,
+	"IntersectWith":       true,
+	"UnionWith":           true,
+	"DifferenceWith":      true,
+	"CopyFrom":            true,
+	"IntersectInto":       true,
+	"IntersectCountBelow": true,
 }
 
 // ownership classification for a *bitset.Set expression.

@@ -130,6 +130,46 @@ func (s *Set) DifferenceWith(other *Set) {
 	}
 }
 
+// IntersectInto overwrites s with a ∩ b in a single word sweep. All
+// three sets must share a universe; s may alias a or b (in-place use).
+func (s *Set) IntersectInto(a, b *Set) {
+	s.mustMatch(a)
+	s.mustMatch(b)
+	for i := range s.words {
+		s.words[i] = a.words[i] & b.words[i]
+	}
+}
+
+// IntersectCountBelow overwrites s with a ∩ b and returns the number of
+// elements strictly below limit and in total, all in one word sweep —
+// the fused form of IntersectInto + CountBelow + Count the enumeration
+// kernel runs per node. s may alias a or b.
+func (s *Set) IntersectCountBelow(a, b *Set, limit int) (below, total int) {
+	s.mustMatch(a)
+	s.mustMatch(b)
+	if limit < 0 {
+		limit = 0
+	}
+	if limit > s.n {
+		limit = s.n
+	}
+	full := limit / wordBits
+	rem := limit % wordBits
+	for i := range s.words {
+		w := a.words[i] & b.words[i]
+		s.words[i] = w
+		c := bits.OnesCount64(w)
+		total += c
+		switch {
+		case i < full:
+			below += c
+		case i == full && rem != 0:
+			below += bits.OnesCount64(w & (1<<uint(rem) - 1))
+		}
+	}
+	return below, total
+}
+
 // Intersect returns a new set s ∩ other.
 func (s *Set) Intersect(other *Set) *Set {
 	c := s.Clone()
@@ -231,6 +271,31 @@ func (s *Set) Indices() []int {
 	return out
 }
 
+// AppendIndicesBelow appends the elements strictly below limit to buf
+// in ascending order and returns the extended slice. When buf has
+// sufficient capacity no allocation occurs — this is the no-alloc form
+// of Indices the enumeration kernel feeds from its scratch arenas.
+func (s *Set) AppendIndicesBelow(buf []int, limit int) []int {
+	if limit > s.n {
+		limit = s.n
+	}
+	if limit <= 0 {
+		return buf
+	}
+	full := limit / wordBits
+	for wi := 0; wi < full; wi++ {
+		for w := s.words[wi]; w != 0; w &= w - 1 {
+			buf = append(buf, wi*wordBits+bits.TrailingZeros64(w))
+		}
+	}
+	if rem := limit % wordBits; rem != 0 {
+		for w := s.words[full] & (1<<uint(rem) - 1); w != 0; w &= w - 1 {
+			buf = append(buf, full*wordBits+bits.TrailingZeros64(w))
+		}
+	}
+	return buf
+}
+
 // ForEach calls fn for each element in ascending order. If fn returns
 // false, iteration stops early.
 func (s *Set) ForEach(fn func(i int) bool) {
@@ -308,6 +373,33 @@ func (s *Set) AnyBelow(limit int, excl *Set) bool {
 	return false
 }
 
+// AnyBelowAndNot reports whether (s ∩ b) \ excl contains an element
+// strictly below limit, returning at the first word that proves it.
+// It fuses the final intersection step of a closure with the backward
+// closedness check, so a pruned node never pays for the full product.
+func (s *Set) AnyBelowAndNot(limit int, b, excl *Set) bool {
+	s.mustMatch(b)
+	s.mustMatch(excl)
+	if limit <= 0 {
+		return false
+	}
+	if limit > s.n {
+		limit = s.n
+	}
+	full := limit / wordBits
+	for i := 0; i < full; i++ {
+		if s.words[i]&b.words[i]&^excl.words[i] != 0 {
+			return true
+		}
+	}
+	if rem := limit % wordBits; rem != 0 {
+		if s.words[full]&b.words[full]&^excl.words[full]&(1<<uint(rem)-1) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // String renders the set as "{a, b, c}".
 func (s *Set) String() string {
 	var b strings.Builder
@@ -336,4 +428,20 @@ func (s *Set) Key() string {
 		}
 	}
 	return string(b)
+}
+
+// Hash64 returns a 64-bit FNV-1a hash of the set's contents, folding
+// whole words. Equal sets over one universe hash identically; distinct
+// sets may collide, so deduplication must confirm with Equal. Unlike
+// Key it materializes nothing on the heap.
+func (s *Set) Hash64() uint64 {
+	const (
+		offset64 uint64 = 14695981039346656037
+		prime64  uint64 = 1099511628211
+	)
+	h := offset64
+	for _, w := range s.words {
+		h = (h ^ w) * prime64
+	}
+	return h
 }

@@ -107,7 +107,7 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, 
 	// enumeration, expanded at output).
 	v := &visitor{minsup: cfg.Minsup, members: map[int][]int{}}
 	itemRows := make([]*bitset.Set, d.NumItems())
-	byKey := map[string]int{}
+	byHash := map[uint64][]int{} // support-set hash -> representatives
 	var reps []int
 	for i := 0; i < d.NumItems(); i++ {
 		rs := d.ItemRows(i)
@@ -115,10 +115,16 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, 
 			continue
 		}
 		itemRows[i] = rs
-		key := rs.Key()
-		rep, ok := byKey[key]
-		if !ok {
-			byKey[key] = i
+		h := rs.Hash64()
+		rep := -1
+		for _, cand := range byHash[h] {
+			if itemRows[cand].Equal(rs) {
+				rep = cand
+				break
+			}
+		}
+		if rep < 0 {
+			byHash[h] = append(byHash[h], i)
 			reps = append(reps, i)
 			rep = i
 		}

@@ -215,16 +215,24 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg
 
 // dedupItems groups frequent items by identical support sets, returning
 // one representative per group and a members map (representative ->
-// full sorted member list).
+// full sorted member list). Support sets are bucketed by their 64-bit
+// hash with an Equal check resolving collisions — Set.Key's string
+// materialization dominated heap profiles on wide datasets.
 func dedupItems(itemRows []*bitset.Set, freqItems []int) ([]int, map[int][]int) {
-	byKey := map[string]int{} // rowset key -> representative item
+	byHash := map[uint64][]int{} // rowset hash -> representative items
 	members := map[int][]int{}
 	var reps []int
 	for _, it := range freqItems {
-		key := itemRows[it].Key()
-		rep, ok := byKey[key]
-		if !ok {
-			byKey[key] = it
+		h := itemRows[it].Hash64()
+		rep := -1
+		for _, cand := range byHash[h] {
+			if itemRows[cand].Equal(itemRows[it]) {
+				rep = cand
+				break
+			}
+		}
+		if rep < 0 {
+			byHash[h] = append(byHash[h], it)
 			reps = append(reps, it)
 			rep = it
 		}
@@ -307,11 +315,18 @@ type topkVisitor struct {
 // same rule group.
 func (v *topkVisitor) seed(itemRows []*bitset.Set, freqItems []int, numPos int) {
 	v.provisional = make(map[*rules.Group]int)
-	byRowset := make(map[string]*rules.Group)
+	byRowset := make(map[uint64][]*rules.Group)
 	for _, it := range freqItems {
 		rs := itemRows[it]
-		key := rs.Key()
-		if _, ok := byRowset[key]; ok {
+		h := rs.Hash64()
+		dup := false
+		for _, g0 := range byRowset[h] {
+			if g0.Rows.Equal(rs) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
 		xp := rs.CountBelow(numPos)
@@ -323,7 +338,7 @@ func (v *topkVisitor) seed(itemRows []*bitset.Set, freqItems []int, numPos int) 
 			Confidence: float64(xp) / float64(xp+xn),
 			Rows:       rs.Clone(),
 		}
-		byRowset[key] = g
+		byRowset[h] = append(byRowset[h], g)
 		v.provisional[g] = it
 		rs.ForEach(func(p int) bool {
 			if p >= numPos {
@@ -478,12 +493,14 @@ func (v *topkVisitor) apply(antecedent func() []int, rows *bitset.Set, conf floa
 			continue
 		}
 		if g == nil {
+			// rows aliases the engine's arena (or a replayed event's
+			// buffer); the retained group needs its own copy.
 			g = &rules.Group{
 				Antecedent: antecedent(),
 				Class:      v.cls,
 				Support:    xp,
 				Confidence: conf,
-				Rows:       rows,
+				Rows:       rows.Clone(),
 			}
 		}
 		l.Consider(g)

@@ -252,10 +252,16 @@ func (w *workerVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos 
 	if !keep {
 		return
 	}
-	// xPos is freshly allocated per node by the engine; items aliases a
-	// reused buffer, but expansion copies it. The expanded antecedent is
-	// recorded so replay never needs the worker alive.
-	ev := groupEvent{items: w.parent.expand(items), rows: rows, xp: xp, xn: xn, xPos: xPos}
+	// Everything the engine passed aliases its arena; the recorded event
+	// must own its data (expansion copies items, rows and xPos are copied
+	// here), so replay never needs the worker — or the arena — alive.
+	ev := groupEvent{
+		items: w.parent.expand(items),
+		rows:  rows.Clone(),
+		xp:    xp,
+		xn:    xn,
+		xPos:  append([]int(nil), xPos...),
+	}
 	w.events = append(w.events, ev)
 
 	var g *rules.Group
@@ -275,7 +281,7 @@ func (w *workerVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos 
 			continue
 		}
 		if g == nil {
-			g = &rules.Group{Antecedent: ev.items, Class: w.parent.cls, Support: xp, Confidence: conf, Rows: rows}
+			g = &rules.Group{Antecedent: ev.items, Class: w.parent.cls, Support: xp, Confidence: conf, Rows: ev.rows}
 		}
 		l.Consider(g)
 	}

@@ -28,10 +28,21 @@ type Budget struct {
 // NewBudget returns a budget charging against ctx and maxNodes
 // (0 = no node cap). A nil ctx means context.Background().
 func NewBudget(ctx context.Context, maxNodes int) *Budget {
+	b := &Budget{}
+	b.Reset(ctx, maxNodes)
+	return b
+}
+
+// Reset rearms the budget for a new run without allocating: the node
+// counter restarts at zero and subsequent Charge calls check the given
+// context and cap. Not safe to call while workers are charging.
+func (b *Budget) Reset(ctx context.Context, maxNodes int) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return &Budget{ctx: ctx, maxNodes: int64(maxNodes)}
+	b.ctx = ctx
+	b.maxNodes = int64(maxNodes)
+	b.nodes.Store(0)
 }
 
 // Charge debits n work units. It returns the context's error when the

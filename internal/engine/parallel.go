@@ -30,29 +30,41 @@ type ParallelVisitor interface {
 	Join(forks []Visitor)
 }
 
+// taskCollector is the spawner installed for the parallel root visit:
+// it deep-copies each first-level child task out of the arena (x, items
+// and cand all alias reusable buffers) so the tasks survive dispatch.
+type taskCollector struct {
+	tasks []task
+}
+
+func (c *taskCollector) spawn(t task) error {
+	t.x = t.x.Clone()
+	t.items = append([]int(nil), t.items...)
+	t.cand = append([]int(nil), t.cand...)
+	c.tasks = append(c.tasks, t)
+	return nil
+}
+
 // runParallel enumerates the root node on the caller's goroutine,
-// collecting its children as tasks, builds one fork of the visitor and
-// one private sub-enumerator per task (cloned scratch, shared read-only
-// ItemRows, shared Budget) before any worker starts, then lets Workers
-// goroutines claim task indices in DFS order. The goroutines see only
-// the prebuilt per-task slices — no bitset crosses into a worker except
-// inside the task it exclusively owns. Forks are joined in task order,
-// which is what makes parallel output identical to sequential output.
+// collecting its children as tasks, then builds one fork of the visitor
+// per task and one private sub-enumerator per worker — each with its
+// own cloned scratch arena, sharing only the read-only ItemRows /
+// rowItems indexes and the atomic Budget — all before any worker
+// starts. Workers claim task indices in DFS order and run them on their
+// own arena (every arena buffer is fully rewritten before it is read,
+// so reuse across tasks cannot leak state between subtrees). Forks are
+// joined in task order, which is what makes parallel output identical
+// to sequential output.
 func (e *Enumerator) runParallel(pv ParallelVisitor, root task) error {
-	var tasks []task
-	e.spawn = func(t task) error {
-		// visitNode reuses its child item buffer between iterations;
-		// retained tasks need their own copy.
-		t.items = append([]int(nil), t.items...)
-		tasks = append(tasks, t)
-		return nil
-	}
+	col := &taskCollector{}
+	e.sp = col
 	if err := e.visitNode(root); err != nil {
 		if errors.Is(err, ErrNodeBudget) {
 			e.stats.Aborted = true
 		}
 		return err
 	}
+	tasks := col.tasks
 
 	workers := e.Workers
 	if workers > len(tasks) {
@@ -60,9 +72,9 @@ func (e *Enumerator) runParallel(pv ParallelVisitor, root task) error {
 	}
 	if workers <= 1 {
 		// Zero or one subtree: nothing to distribute.
-		e.spawn = e.enumerate
+		e.sp = e
 		for _, t := range tasks {
-			if err := e.enumerate(t); err != nil {
+			if err := e.visitNode(t); err != nil {
 				return err
 			}
 		}
@@ -71,36 +83,39 @@ func (e *Enumerator) runParallel(pv ParallelVisitor, root task) error {
 	e.stats.Workers = workers
 
 	forks := make([]Visitor, len(tasks))
-	subs := make([]*Enumerator, len(tasks))
-	errs := make([]error, len(tasks))
 	for i := range tasks {
-		fork := pv.Fork()
-		forks[i] = fork
+		forks[i] = pv.Fork()
+	}
+	subs := make([]*Enumerator, workers)
+	for w := range subs {
 		sub := &Enumerator{
 			NumRows:         e.NumRows,
 			NumPos:          e.NumPos,
 			ItemRows:        e.ItemRows,
-			Visitor:         fork,
 			DisableBackward: e.DisableBackward,
 			budget:          e.budget,
+			scratch:         e.scratch.clone(),
+			rowItems:        e.rowItems,
 		}
-		sub.spawn = sub.enumerate
-		subs[i] = sub
+		sub.sp = sub
+		subs[w] = sub
 	}
+	errs := make([]error, len(tasks))
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(sub *Enumerator) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= len(tasks) {
 					return
 				}
-				errs[i] = subs[i].enumerate(tasks[i])
+				sub.Visitor = forks[i]
+				errs[i] = sub.visitNode(tasks[i])
 			}
-		}()
+		}(subs[w])
 	}
 	wg.Wait()
 

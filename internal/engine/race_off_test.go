@@ -1,0 +1,9 @@
+//go:build !race
+
+package engine
+
+// raceEnabled reports whether the race detector instruments this build.
+// Its shadow-memory bookkeeping allocates, so the zero-allocation pins
+// skip under -race (the same tests' correctness side still runs there
+// via the Parallel/Oracle suites).
+const raceEnabled = false

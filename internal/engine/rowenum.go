@@ -10,13 +10,22 @@ import (
 // Visitor receives enumeration events and owns all threshold logic.
 // Hooks are called in the Step order of Algorithm MineTopkRGS (Figure
 // 3), with the structural backward check folded into the engine.
+//
+// Aliasing contract: every slice and bitset a hook receives aliases the
+// engine's per-worker scratch arena and is valid only for the duration
+// of the call — the engine overwrites the same buffers at the next node
+// (and at the second UpdateThresholds call of the same node). A visitor
+// that retains anything must copy it at the event boundary: Clone() for
+// bitsets, append([]int(nil), s...) for index slices. Retention without
+// a copy is the one way to corrupt an otherwise deterministic search.
 type Visitor interface {
 	// UpdateThresholds is Step 8: xPos are the positive rows already in
 	// X, candPos the positive candidate rows still enumerable below the
 	// node (a superset of the reachable R_p). Together they bound the
 	// rows that groups found in this subtree can cover (Lemma 3.2). The
 	// returned threshold is passed back into the pruning hooks for this
-	// node and its child-generation loop.
+	// node and its child-generation loop. Both slices are arena-backed
+	// (see the interface comment): scan them, do not keep them.
 	UpdateThresholds(xPos, candPos []int) Threshold
 	// PruneBeforeScan is Step 9: loose upper bounds computed without
 	// scanning the projected table. rp and rn are candidate counts
@@ -27,19 +36,27 @@ type Visitor interface {
 	// surviving negative candidates.
 	PruneAfterScan(th Threshold, xp, xn, mp, rn int) bool
 	// OnGroup is Steps 12-13: a closed rule group was identified. items
-	// is I(X) (sorted, aliased — copy to retain), rows is R(I(X)) (fresh,
-	// may be retained), xp/xn its class split, xPos the positive row ids.
+	// is I(X) (sorted), rows is R(I(X)), xp/xn its class split, xPos the
+	// positive row ids of rows. All of items, rows and xPos alias arena
+	// memory owned by the engine — a visitor that keeps the group must
+	// copy them here, at the event boundary (rows.Clone() and fresh
+	// slices); these retained copies are the only sanctioned per-group
+	// allocations on the mining path.
 	OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []int)
 }
 
 // Enumerator runs the row enumeration. Configure the fields, then call
 // Run. A single Enumerator is not safe for concurrent Run calls; the
 // parallel mode spawns its own per-worker sub-enumerators internally.
+// Repeated Run calls reuse the enumerator's scratch arena and row→item
+// index, so steady-state runs allocate nothing beyond what the visitor
+// retains; ItemRows must therefore stay unchanged across Runs.
 type Enumerator struct {
 	NumRows  int           // total rows
 	NumPos   int           // rows 0..NumPos-1 are the consequent class
 	ItemRows []*bitset.Set // full support set per item id; read-only during Run
-	Visitor  Visitor
+
+	Visitor Visitor
 
 	// DisableBackward turns off the closedness check (ablation only:
 	// the same group is then reported once per generating row subset).
@@ -54,9 +71,27 @@ type Enumerator struct {
 	Workers int
 
 	budget *Budget
-	spawn  func(task) error
+	sp     spawner
 	stats  Stats
+
+	// scratch is this goroutine's arena; rowItems is the transposed
+	// item index (row id -> items whose support contains the row), built
+	// once per enumerator and shared read-only with workers.
+	scratch  *scratch
+	rowItems []*bitset.Set
 }
+
+// spawner receives the surviving children of a node. The sequential
+// mode is the Enumerator itself (direct recursion); the parallel root
+// visit collects tasks instead. Tasks handed to spawn alias arena
+// buffers (x, items, cand): an implementation that retains a task
+// beyond the call must deep-copy those three fields.
+type spawner interface {
+	spawn(t task) error
+}
+
+// spawn recurses directly into the child node (sequential mode).
+func (e *Enumerator) spawn(t task) error { return e.visitNode(t) }
 
 // task is one enumeration node: the pending row set x (not yet closed),
 // the alive items, the candidate rows (all ids >= minNext, ascending),
@@ -79,19 +114,21 @@ func (e *Enumerator) Run(ctx context.Context, items []int) (Stats, error) {
 	if len(items) == 0 || e.NumRows == 0 {
 		return e.stats, nil
 	}
-	e.budget = NewBudget(ctx, e.MaxNodes)
-	cand := make([]int, e.NumRows)
-	for i := range cand {
-		cand[i] = i
+	if e.budget == nil {
+		e.budget = &Budget{}
 	}
-	root := task{x: bitset.New(e.NumRows), items: items, cand: cand}
+	e.budget.Reset(ctx, e.MaxNodes)
+	e.ensureScratch()
+	rootX := e.scratch.level(0).xSet()
+	rootX.Clear()
+	root := task{x: rootX, items: items, cand: e.scratch.rootCand}
 
 	var err error
 	if pv, ok := e.Visitor.(ParallelVisitor); ok && e.Workers > 1 {
 		err = e.runParallel(pv, root)
 	} else {
-		e.spawn = e.enumerate
-		err = e.enumerate(root)
+		e.sp = e
+		err = e.visitNode(root)
 	}
 	if errors.Is(err, ErrNodeBudget) {
 		e.stats.Aborted = true
@@ -100,10 +137,38 @@ func (e *Enumerator) Run(ctx context.Context, items []int) (Stats, error) {
 	return e.stats, err
 }
 
-// enumerate recurses depth-first: visit the node, then spawn children
-// back into enumerate via e.spawn.
-func (e *Enumerator) enumerate(t task) error {
-	return e.visitNode(t)
+// ensureScratch builds the arena and the row→item index on the first
+// Run; later Runs reuse both (ItemRows is read-only by contract).
+func (e *Enumerator) ensureScratch() {
+	if e.scratch == nil {
+		e.scratch = newScratch(e.NumRows, e.NumPos, len(e.ItemRows))
+	}
+	if e.rowItems == nil {
+		e.rowItems = buildRowItems(e.NumRows, e.ItemRows)
+	}
+}
+
+// buildRowItems transposes the item supports into per-row item sets:
+// rowItems[r] contains item i iff itemRows[i] contains r. The survivor
+// scan intersects these with the node's alive mask, replacing the
+// per-candidate O(|items|) Contains loop with a handful of fused word
+// operations.
+func buildRowItems(numRows int, itemRows []*bitset.Set) []*bitset.Set {
+	rowItems := make([]*bitset.Set, numRows)
+	for r := range rowItems {
+		rowItems[r] = bitset.New(len(itemRows))
+	}
+	for it, rs := range itemRows {
+		if rs == nil {
+			continue
+		}
+		item := it
+		rs.ForEach(func(r int) bool {
+			rowItems[r].Add(item)
+			return true
+		})
+	}
+	return rowItems
 }
 
 // posSplit splits an ascending candidate list at NumPos.
@@ -116,9 +181,10 @@ func (e *Enumerator) posSplit(cand []int) (pos, neg []int) {
 }
 
 // visitNode processes one enumeration node and hands each surviving
-// child to e.spawn (direct recursion when sequential, task collection
-// at the parallel root). Child tasks alias a reused item buffer: spawn
-// implementations that retain a task beyond the call must copy items.
+// child to e.sp (direct recursion when sequential, task collection at
+// the parallel root). The node works entirely inside its depth's arena
+// level: the steady-state path performs zero heap allocations (see
+// DESIGN.md §5b, "memory model of the hot loop").
 func (e *Enumerator) visitNode(t task) error {
 	e.stats.Nodes++
 	if err := e.budget.Charge(1); err != nil {
@@ -127,13 +193,15 @@ func (e *Enumerator) visitNode(t task) error {
 	if t.depth > e.stats.MaxDepth {
 		e.stats.MaxDepth = t.depth
 	}
+	lv := e.scratch.level(t.depth)
 
 	xp := t.x.CountBelow(e.NumPos)
 	xn := t.x.Count() - xp
 	candPos, candNeg := e.posSplit(t.cand)
 
 	// Step 8: dynamic thresholds over the rows this subtree can cover.
-	th := e.Visitor.UpdateThresholds(posIndices(t.x, e.NumPos), candPos)
+	posIdx := t.x.AppendIndicesBelow(lv.posIdx[:0], e.NumPos)
+	th := e.Visitor.UpdateThresholds(posIdx, candPos)
 
 	// Step 9: loose bounds using inherited candidate counts.
 	if e.Visitor.PruneBeforeScan(th, xp, xn, len(candPos), len(candNeg)) {
@@ -141,67 +209,81 @@ func (e *Enumerator) visitNode(t task) error {
 		return nil
 	}
 
-	// Closure: R(I(X)) = ∩_{i ∈ I(X)} R(i).
-	closed := e.ItemRows[t.items[0]].Clone()
-	for _, it := range t.items[1:] {
-		closed.IntersectWith(e.ItemRows[it])
+	// Closure: R(I(X)) = ∩_{i ∈ I(X)} R(i), folded into the arena with
+	// the last intersection step fused against the backward check and
+	// the class-split count. partial holds ∩ of all items but the last
+	// (for a single item, partial == last and the product is R(i)∩R(i)).
+	rows := e.ItemRows
+	n := len(t.items)
+	closed := lv.closedSet()
+	last := rows[t.items[n-1]]
+	partial := last
+	if n >= 2 {
+		if n == 2 {
+			partial = rows[t.items[0]]
+		} else {
+			closed.IntersectInto(rows[t.items[0]], rows[t.items[1]])
+			for _, it := range t.items[2 : n-1] {
+				closed.IntersectWith(rows[it])
+			}
+			partial = closed
+		}
 	}
 
 	// Step 7: backward pruning — a row ordered before the enumeration
 	// point that is in R(I(X)) but not in X means this closed set was
-	// already reached under an earlier branch.
-	if !e.DisableBackward && closed.AnyBelow(t.minNext, t.x) {
+	// already reached under an earlier branch. The fused check exits at
+	// the first offending word, before the closure is even materialized.
+	if !e.DisableBackward && partial.AnyBelowAndNot(t.minNext, last, t.x) {
 		e.stats.BackwardPruned++
 		return nil
 	}
+	var total int
+	xp, total = closed.IntersectCountBelow(partial, last, e.NumPos)
+	xn = total - xp
 
 	// Step 10: forward closure — candidates inside R(I(X)) join X; the
-	// rest survive iff some tuple still contains them.
-	xp = closed.CountBelow(e.NumPos)
-	xn = closed.Count() - xp
-	survivors := t.cand[:0:0] // fresh slice, no aliasing of cand
+	// rest survive iff some alive item still contains them, checked as
+	// rowItems[r] ∩ alive ≠ ∅ against the node's alive-items mask.
+	alive := lv.aliveSet()
+	alive.Clear()
+	for _, it := range t.items {
+		alive.Add(it)
+	}
+	survivors := lv.survivors[:0]
 	mp := 0
 	for _, r := range t.cand {
 		if closed.Contains(r) {
 			continue
 		}
-		alive := false
-		for _, it := range t.items {
-			if e.ItemRows[it].Contains(r) {
-				alive = true
-				break
-			}
+		if !e.rowItems[r].Intersects(alive) {
+			continue
 		}
-		if alive {
-			survivors = append(survivors, r)
-			if r < e.NumPos {
-				mp++
-			}
+		survivors = append(survivors, r)
+		if r < e.NumPos {
+			mp++
 		}
 	}
 
 	// Step 11: tight bounds using surviving candidate counts, with the
 	// thresholds recomputed over the now-exact reachable row set
 	// (X_p of the closed set plus the surviving positive candidates —
-	// Lemma 3.2's maximal coverage). The post-scan threshold is at least
-	// as strong as the pre-scan one because the reachable set shrank.
-	xPosClosed := posIndices(closed, e.NumPos)
-	survPos := survivors[:0:0]
-	for _, r := range survivors {
-		if r < e.NumPos {
-			survPos = append(survPos, r)
-		}
-	}
-	th = e.Visitor.UpdateThresholds(xPosClosed, survPos)
+	// Lemma 3.2's maximal coverage). Candidates are ascending, so the
+	// positive survivors are exactly the prefix survivors[:mp]. The
+	// post-scan threshold is at least as strong as the pre-scan one
+	// because the reachable set shrank.
+	posIdx = closed.AppendIndicesBelow(lv.posIdx[:0], e.NumPos)
+	th = e.Visitor.UpdateThresholds(posIdx, survivors[:mp])
 	if e.Visitor.PruneAfterScan(th, xp, xn, mp, len(survivors)-mp) {
 		e.stats.PrunedAfterScan++
 		return nil
 	}
 
-	// Steps 12-13: report the group at this node.
+	// Steps 12-13: report the group at this node. items, closed and
+	// posIdx alias the arena; the visitor copies what it keeps.
 	if xp > 0 {
 		e.stats.Groups++
-		e.Visitor.OnGroup(t.items, closed, xp, xn, xPosClosed)
+		e.Visitor.OnGroup(t.items, closed, xp, xn, posIdx)
 	}
 
 	// Step 14: descend into each surviving candidate in ORD order. Each
@@ -209,8 +291,11 @@ func (e *Enumerator) visitNode(t task) error {
 	// thresholds already computed for this node (a superset of the
 	// child's reachable rows, so conservative): children that cannot
 	// contribute are skipped without paying a recursive call and a fresh
-	// threshold scan.
-	childItems := make([]int, 0, len(t.items))
+	// threshold scan. The child's X is written into the next level's
+	// arena slot, where it stays stable for the whole child subtree.
+	childLv := e.scratch.level(t.depth + 1)
+	childX := childLv.xSet()
+	childMask := lv.childMaskSet()
 	posLeft := mp
 	for i, r := range survivors {
 		childXp, childXn := xp, xn
@@ -225,35 +310,18 @@ func (e *Enumerator) visitNode(t task) error {
 			e.stats.PrunedBeforeScan++
 			continue
 		}
-		childItems = childItems[:0]
-		for _, it := range t.items {
-			if e.ItemRows[it].Contains(r) {
-				childItems = append(childItems, it)
-			}
-		}
+		childMask.IntersectInto(e.rowItems[r], alive)
+		childItems := childMask.AppendIndicesBelow(lv.childItems[:0], e.scratch.numItems)
 		if len(childItems) == 0 {
 			continue
 		}
-		childX := closed.Clone()
+		childX.CopyFrom(closed)
 		childX.Add(r)
-		if err := e.spawn(task{
+		if err := e.sp.spawn(task{
 			x: childX, items: childItems, cand: survivors[i+1:], minNext: r + 1, depth: t.depth + 1,
 		}); err != nil {
 			return err
 		}
 	}
 	return nil
-}
-
-// posIndices returns the elements of s below limit, ascending.
-func posIndices(s *bitset.Set, limit int) []int {
-	out := make([]int, 0, s.CountBelow(limit))
-	s.ForEach(func(i int) bool {
-		if i >= limit {
-			return false
-		}
-		out = append(out, i)
-		return true
-	})
-	return out
 }

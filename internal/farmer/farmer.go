@@ -282,12 +282,14 @@ func (v *staticVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos 
 	if v.minchi > 0 && v.chi2(xp, xn) < v.minchi {
 		return
 	}
+	// items and rows alias the engine's arena: the retained group copies
+	// both at the event boundary.
 	v.groups = append(v.groups, &rules.Group{
 		Antecedent: append([]int(nil), items...),
 		Class:      v.cls,
 		Support:    xp,
 		Confidence: conf,
-		Rows:       rows,
+		Rows:       rows.Clone(),
 	})
 }
 
