@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet analyze test race bench perf experiments fuzz clean
+.PHONY: all build vet analyze test race bench perf experiments fuzz serve clean
 
 all: build vet analyze test
 
@@ -50,6 +50,11 @@ experiments:
 	$(GO) run ./cmd/benchrunner -exp groupcount   > results/groupcount.txt
 	$(GO) run ./cmd/benchrunner -exp topgenes     > results/topgenes.txt
 	$(GO) run ./cmd/benchrunner -exp ablation -budget 500000 > results/ablation.txt
+
+# Serve the checked-in model fixture locally. Point real deployments at
+# models written by `go run ./cmd/rcbt -train ... -save model.json`.
+serve:
+	$(GO) run ./cmd/rcbtserved -model fixture=internal/serve/testdata/model.json -addr :8344
 
 # Short fuzzing sessions over the dataset parsers, the bit-set algebra
 # and the discretizer.

@@ -3,13 +3,20 @@
 package cmd_test
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
+
+	"repro/internal/dataset"
 )
 
 var (
@@ -26,7 +33,7 @@ func binaries(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, cmd := range []string{"topkrgs", "rcbt", "datagen", "benchrunner"} {
+		for _, cmd := range []string{"topkrgs", "rcbt", "rcbtserved", "datagen", "benchrunner"} {
 			out, err := exec.Command("go", "build", "-o", filepath.Join(binDir, cmd), "./"+cmd).CombinedOutput()
 			if err != nil {
 				buildErr = err
@@ -150,12 +157,13 @@ func TestRcbtSaveLoad(t *testing.T) {
 	run(t, "datagen", "-profile", "ALL", "-scale", "60", "-out", dir)
 	trainF := filepath.Join(dir, "allx60_train.txt")
 	testF := filepath.Join(dir, "allx60_test.txt")
-	model := filepath.Join(dir, "model.gob")
+	model := filepath.Join(dir, "model.json")
 	out1 := run(t, "rcbt", "-train", trainF, "-test", testF, "-k", "2", "-nl", "3", "-save", model)
 	if !strings.Contains(out1, "saved model to") {
 		t.Fatalf("save missing: %s", out1)
 	}
-	out2 := run(t, "rcbt", "-train", trainF, "-test", testF, "-load", model)
+	// The envelope bundles the discretizer, so -load needs no -train.
+	out2 := run(t, "rcbt", "-load", model, "-test", testF)
 	if !strings.Contains(out2, "loaded model from") {
 		t.Fatalf("load missing: %s", out2)
 	}
@@ -170,6 +178,113 @@ func TestRcbtSaveLoad(t *testing.T) {
 	}
 	if a, b := accOf(out1), accOf(out2); a == "" || a != b {
 		t.Fatalf("accuracy mismatch: %q vs %q", a, b)
+	}
+}
+
+// TestRcbtservedSmoke trains a model via the CLI, serves it with
+// rcbtserved on an ephemeral port, and walks the HTTP API end to end:
+// health, model listing, classification of a real test row, metrics.
+func TestRcbtservedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dir := t.TempDir()
+	run(t, "datagen", "-profile", "ALL", "-scale", "60", "-out", dir)
+	trainF := filepath.Join(dir, "allx60_train.txt")
+	testF := filepath.Join(dir, "allx60_test.txt")
+	model := filepath.Join(dir, "model.json")
+	run(t, "rcbt", "-train", trainF, "-k", "2", "-nl", "3", "-save", model)
+
+	cmd := exec.Command(filepath.Join(binaries(t), "rcbtserved"),
+		"-model", "synth="+model, "-addr", "127.0.0.1:0")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() // vetsuite:allow uncheckederr -- best-effort cleanup
+
+	// The server prints its bound address as the first stdout line.
+	var base string
+	sc := bufio.NewScanner(stdout)
+	if sc.Scan() {
+		line := sc.Text()
+		const marker = "listening on "
+		i := strings.Index(line, marker)
+		if i < 0 {
+			t.Fatalf("unexpected startup line: %q", line)
+		}
+		base = "http://" + line[i+len(marker):]
+	} else {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body) // vetsuite:allow uncheckederr -- test helper
+		resp.Body.Close()       // vetsuite:allow uncheckederr -- test helper
+		return resp.StatusCode, buf.String()
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	if code, body := get("/v1/models"); code != http.StatusOK || !strings.Contains(body, `"synth"`) {
+		t.Fatalf("models: %d %s", code, body)
+	}
+
+	// Classify a genuine row of the held-out test matrix.
+	f, err := os.Open(testF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dataset.ReadMatrix(f)
+	f.Close() // vetsuite:allow uncheckederr -- test helper
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqBody, _ := json.Marshal(map[string]any{"model": "synth", "values": m.Values[0]})
+	resp, err := http.Post(base+"/v1/classify", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var classifyResp struct {
+		Class string `json:"class"`
+		Label int    `json:"label"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&classifyResp); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() // vetsuite:allow uncheckederr -- test helper
+	if resp.StatusCode != http.StatusOK || classifyResp.Class == "" {
+		t.Fatalf("classify: %d %+v", resp.StatusCode, classifyResp)
+	}
+
+	if code, body := get("/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, `rcbtserved_requests_total{path="/v1/classify",code="200"} 1`) {
+		t.Fatalf("metrics: %d\n%s", code, body)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited with: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down within 10s")
 	}
 }
 

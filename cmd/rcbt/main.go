@@ -1,16 +1,22 @@
 // Command rcbt trains an RCBT classifier on a training expression
-// matrix and evaluates it on a test matrix (both in the matrix text
-// format of internal/dataset).
+// matrix, optionally evaluates it on a test matrix, and saves/loads
+// the versioned JSON model envelope served by rcbtserved.
 //
 // Usage:
 //
-//	rcbt -train train.txt -test test.txt [-k 10] [-nl 20] [-minsup 0.7]
+//	rcbt -train train.txt [-test test.txt] [-k 10] [-nl 20] [-minsup 0.7] [-save model.json]
+//	rcbt -load model.json -test test.txt
+//
+// A saved model bundles the discretization cut points, so -load does
+// not need the training matrix.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/discretize"
@@ -18,92 +24,132 @@ import (
 )
 
 func main() {
-	trainPath := flag.String("train", "", "training matrix file (required)")
-	testPath := flag.String("test", "", "test matrix file (required)")
+	trainPath := flag.String("train", "", "training matrix file (required unless -load)")
+	testPath := flag.String("test", "", "test matrix file")
 	k := flag.Int("k", 10, "covering rule groups per row (main + k-1 standby classifiers)")
 	nl := flag.Int("nl", 20, "lower-bound rules per rule group")
 	minsup := flag.Float64("minsup", 0.7, "relative minimum support")
-	saveModel := flag.String("save", "", "write the trained model (gob) to this path")
-	loadModel := flag.String("load", "", "load a model instead of training (train matrix still needed for discretization)")
+	saveModel := flag.String("save", "", "write the trained model (JSON envelope) to this path")
+	loadModel := flag.String("load", "", "load a model envelope instead of training")
 	flag.Parse()
 
-	if *trainPath == "" || *testPath == "" {
+	if *trainPath == "" && *loadModel == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	train, err := loadMatrix(*trainPath)
-	if err != nil {
-		fail(err)
-	}
-	test, err := loadMatrix(*testPath)
-	if err != nil {
-		fail(err)
-	}
-	dz, err := discretize.FitMatrix(train)
-	if err != nil {
-		fail(err)
-	}
-	dTrain, err := dz.Transform(train)
-	if err != nil {
-		fail(err)
-	}
-	dTest, err := dz.Transform(test)
-	if err != nil {
-		fail(err)
-	}
-	fmt.Printf("genes: %d raw, %d after entropy discretization; %d items\n",
-		train.NumGenes(), dz.NumSelectedGenes(), dTrain.NumItems())
 
-	var c *rcbt.Classifier
+	var model *rcbt.Model
 	if *loadModel != "" {
-		f, err := os.Open(*loadModel)
+		m, err := loadModelFile(*loadModel)
 		if err != nil {
 			fail(err)
 		}
-		c, err = rcbt.Load(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err != nil {
-			fail(err)
-		}
-		fmt.Printf("loaded model from %s\n", *loadModel)
+		model = m
+		fmt.Printf("loaded model from %s (schema v%d, %d classes, %d items)\n",
+			*loadModel, rcbt.ModelSchemaVersion, len(model.ClassNames), model.NumItems)
 	} else {
-		c, err = rcbt.Train(dTrain, rcbt.Config{K: *k, NL: *nl, MinsupFrac: *minsup, LBMaxLen: 5, LBMaxCandidates: 1 << 18})
+		m, err := trainModel(*trainPath, *k, *nl, *minsup)
 		if err != nil {
 			fail(err)
 		}
+		model = m
 	}
+	c := model.Classifier
+	fmt.Printf("classifiers built: %d (1 main + %d standby), default class %s\n",
+		c.NumClassifiers(), c.NumClassifiers()-1, model.ClassName(c.Default()))
+
 	if *saveModel != "" {
-		f, err := os.Create(*saveModel)
-		if err != nil {
-			fail(err)
-		}
-		if err := c.Save(f); err != nil {
-			fail(err)
-		}
-		if err := f.Close(); err != nil {
+		if err := saveModelFile(*saveModel, model); err != nil {
 			fail(err)
 		}
 		fmt.Printf("saved model to %s\n", *saveModel)
 	}
-	fmt.Printf("classifiers built: %d (1 main + %d standby), default class %s\n",
-		c.NumClassifiers(), c.NumClassifiers()-1, dTrain.ClassNames[c.Default()])
 
-	preds, stats := c.PredictDataset(dTest)
+	if *testPath != "" {
+		if err := evaluate(model, *testPath); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func trainModel(trainPath string, k, nl int, minsup float64) (*rcbt.Model, error) {
+	train, err := loadMatrix(trainPath)
+	if err != nil {
+		return nil, err
+	}
+	dz, err := discretize.FitMatrix(train)
+	if err != nil {
+		return nil, err
+	}
+	dTrain, err := dz.Transform(train)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("genes: %d raw, %d after entropy discretization; %d items\n",
+		train.NumGenes(), dz.NumSelectedGenes(), dTrain.NumItems())
+	c, err := rcbt.Train(dTrain, rcbt.Config{K: k, NL: nl, MinsupFrac: minsup, LBMaxLen: 5, LBMaxCandidates: 1 << 18})
+	if err != nil {
+		return nil, err
+	}
+	return &rcbt.Model{
+		Classifier:  c,
+		Discretizer: dz,
+		ClassNames:  dTrain.ClassNames,
+		NumItems:    dTrain.NumItems(),
+		Meta: rcbt.Meta{
+			Dataset:   filepath.Base(trainPath),
+			TrainRows: dTrain.NumRows(),
+			Genes:     train.NumGenes(),
+			CreatedAt: time.Now().UTC().Format(time.RFC3339),
+		},
+	}, nil
+}
+
+func evaluate(model *rcbt.Model, testPath string) error {
+	if model.Discretizer == nil {
+		return fmt.Errorf("model has no discretizer; cannot evaluate a raw matrix")
+	}
+	test, err := loadMatrix(testPath)
+	if err != nil {
+		return err
+	}
+	dTest, err := model.Discretizer.Transform(test)
+	if err != nil {
+		return err
+	}
+	preds, stats := model.Classifier.PredictDataset(dTest)
 	correct := 0
 	for r, p := range preds {
-		marker := " "
 		if p == dTest.Labels[r] {
 			correct++
-			marker = "+"
 		}
-		_ = marker
 	}
 	fmt.Printf("test accuracy: %d/%d = %.2f%%\n", correct, dTest.NumRows(),
 		100*float64(correct)/float64(dTest.NumRows()))
 	fmt.Printf("decided by main classifier: %d, standby: %v, default class: %d\n",
 		first(stats.ByClassifier), rest(stats.ByClassifier), stats.Defaults)
+	return nil
+}
+
+func loadModelFile(path string) (*rcbt.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // vetsuite:allow uncheckederr -- read-only file, nothing buffered to lose
+	return rcbt.LoadModel(f)
+}
+
+func saveModelFile(path string, m *rcbt.Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close() // vetsuite:allow uncheckederr -- save already failed
+		return err
+	}
+	return f.Close()
 }
 
 func first(xs []int) int {

@@ -1,0 +1,140 @@
+// Command rcbtserved serves trained RCBT classifiers over HTTP.
+//
+// Usage:
+//
+//	rcbtserved -model name=model.json [-model other=other.json] \
+//	    [-addr :8344] [-timeout 5s] [-max-batch 1024] [-batch-workers 4]
+//
+// Each -model flag loads one JSON model envelope (written by
+// cmd/rcbt -save) under a serving name. The server exposes:
+//
+//	POST /v1/classify        {"model": "name", "values": [...]} or {"items": [...]}
+//	POST /v1/classify/batch  {"model": "name", "rows": [{"values": [...]}, ...]}
+//	GET  /v1/models          loaded models and their metadata
+//	GET  /healthz            liveness probe
+//	GET  /metrics            Prometheus text exposition
+//
+// The bound address is printed on startup (useful with -addr :0), and
+// SIGINT/SIGTERM trigger a graceful drain before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/rcbt"
+	"repro/internal/serve"
+)
+
+// modelFlags collects repeated -model name=path pairs.
+type modelFlags map[string]string
+
+func (m modelFlags) String() string { return fmt.Sprintf("%v", map[string]string(m)) }
+
+func (m modelFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	if _, dup := m[name]; dup {
+		return fmt.Errorf("duplicate model name %q", name)
+	}
+	m[name] = path
+	return nil
+}
+
+func main() {
+	models := modelFlags{}
+	flag.Var(models, "model", "model to serve as name=path (repeatable, required)")
+	addr := flag.String("addr", ":8344", "listen address (use :0 for an ephemeral port)")
+	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline")
+	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max rows per batch request")
+	batchWorkers := flag.Int("batch-workers", serve.DefaultBatchWorkers, "concurrent rows per batch request")
+	flag.Parse()
+
+	if len(models) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	loaded := make(map[string]*rcbt.Model, len(models))
+	for name, path := range models {
+		m, err := loadModel(path)
+		if err != nil {
+			fail(fmt.Errorf("model %s: %w", name, err))
+		}
+		loaded[name] = m
+		logger.Info("model loaded", "name", name, "path", path,
+			"classes", len(m.ClassNames), "items", m.NumItems,
+			"discretizer", m.Discretizer != nil)
+	}
+
+	s, err := serve.New(serve.Config{
+		Models:         loaded,
+		RequestTimeout: *timeout,
+		MaxBatch:       *maxBatch,
+		BatchWorkers:   *batchWorkers,
+		Logger:         logger,
+	})
+	if err != nil {
+		fail(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fail(err)
+	}
+	// Printed to stdout so scripts (and the CI smoke test) can scrape
+	// the bound address when -addr :0 picked an ephemeral port.
+	fmt.Printf("rcbtserved listening on %s\n", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(), "models", s.ModelNames())
+
+	srv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fail(err)
+		}
+	case <-ctx.Done():
+		logger.Info("shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func loadModel(path string) (*rcbt.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // vetsuite:allow uncheckederr -- read-only file, nothing buffered to lose
+	return rcbt.LoadModel(f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rcbtserved:", err)
+	os.Exit(1)
+}

@@ -58,13 +58,17 @@ func main() {
 	if ms < 1 {
 		ms = 1
 	}
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
+	w := *workers
+	if w == 0 {
+		w = topkrgs.AllCores
 	}
-	res, err := topkrgs.MineContext(ctx, d, cls, ms, *k, topkrgs.Options{Workers: *workers})
+	res, err := topkrgs.Mine(context.Background(), d, topkrgs.MineOptions{
+		Class:   cls,
+		Minsup:  ms,
+		K:       *k,
+		Workers: w,
+		Timeout: *timeout,
+	})
 	if err != nil {
 		fail(err)
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,8 @@ func main() {
 	for cls := 0; cls < d.NumClasses(); cls++ {
 		label := dataset.Label(cls)
 		fmt.Printf("\nTop-1 covering rule groups, consequent %s (minsup=2):\n", d.ClassNames[cls])
-		res, err := topkrgs.Mine(d, label, 2, 1)
+		res, err := topkrgs.Mine(context.Background(), d,
+			topkrgs.MineOptions{Class: label, Minsup: 2, K: 1})
 		if err != nil {
 			log.Fatal(err)
 		}

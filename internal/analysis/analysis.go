@@ -12,8 +12,11 @@
 //     rules.CompareConf.
 //   - panichygiene: panics are reserved for precondition checks in
 //     internal/bitset; everywhere else they must be annotated.
-//   - uncheckederr: cmd/, internal/bench and internal/report must not
-//     drop error returns on the floor.
+//   - deprecatedapi: declarations carrying a "Deprecated:" doc
+//     paragraph must not be used from outside their defining package,
+//     so compatibility shims can be deleted on schedule.
+//   - uncheckederr: cmd/, internal/bench, internal/report and
+//     internal/serve must not drop error returns on the floor.
 //   - syncguard: preparation for the parallel miner — no by-value
 //     copies of lock-carrying types, no goroutine capture of shared
 //     mutable bitsets.
@@ -146,6 +149,7 @@ type Suite struct {
 func DefaultSuite() *Suite {
 	return &Suite{Analyzers: []*Analyzer{
 		BitsetAliasAnalyzer,
+		DeprecatedAPIAnalyzer,
 		FloatCmpAnalyzer,
 		PanicHygieneAnalyzer,
 		UncheckedErrAnalyzer,

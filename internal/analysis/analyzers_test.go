@@ -31,14 +31,21 @@ func TestSyncGuardFixture(t *testing.T) {
 		"repro/internal/analysis/testdata/src/syncguard")
 }
 
+func TestDeprecatedAPIFixture(t *testing.T) {
+	runFixture(t, DeprecatedAPIAnalyzer, "deprecatedapi",
+		"repro/internal/analysis/testdata/src/deprecatedapi")
+}
+
 func TestUncheckedErrScope(t *testing.T) {
 	for path, want := range map[string]bool{
 		"repro/cmd/topkrgs":        true,
 		"repro/cmd/vetsuite":       true,
 		"repro/internal/bench":     true,
 		"repro/internal/report":    true,
+		"repro/internal/serve":     true,
 		"repro/internal/core":      false,
 		"repro/internal/benchmark": false,
+		"repro/internal/served":    false,
 	} {
 		if got := uncheckedErrScope(path); got != want {
 			t.Errorf("uncheckedErrScope(%q) = %v, want %v", path, got, want)

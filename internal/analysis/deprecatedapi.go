@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DeprecatedAPIAnalyzer flags uses of declarations carrying a
+// "Deprecated:" doc paragraph from outside their defining package.
+// The facade keeps one release of compatibility shims around an API
+// redesign (e.g. topkrgs.MineLegacy for the positional Mine); this
+// check stops the repo itself from leaning on them, so the shims can
+// be deleted on schedule without a migration scramble.
+//
+// The defining package is exempt — shims delegate to their
+// replacements and may mention each other freely. Tests are not
+// scanned (the loader only parses non-test files), so pinned
+// compatibility tests keep working.
+var DeprecatedAPIAnalyzer = &Analyzer{
+	Name:  "deprecatedapi",
+	Alias: "deprecated",
+	Doc:   "flags cross-package uses of Deprecated: declarations",
+	Run:   runDeprecatedAPI,
+}
+
+func runDeprecatedAPI(pass *Pass) {
+	if len(pass.Facts.Deprecated) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.Pkg.Info.Uses[id]
+			if !ok || !pass.Facts.Deprecated[obj] {
+				return true
+			}
+			if obj.Pkg() == nil || obj.Pkg() == pass.Pkg.Types {
+				return true // defining package may reference its own shims
+			}
+			pass.Reportf(id.Pos(),
+				"use of deprecated %s.%s; %s",
+				obj.Pkg().Name(), obj.Name(), migrationHint(obj.Name()))
+			return true
+		})
+	}
+}
+
+// migrationHint phrases the replacement advice: the doc comment of the
+// deprecated symbol names the successor, so point there.
+func migrationHint(name string) string {
+	if strings.HasPrefix(name, "Mine") || strings.HasPrefix(name, "Train") {
+		return "migrate to the context-first replacement named in its doc comment"
+	}
+	return "migrate to the replacement named in its doc comment"
+}

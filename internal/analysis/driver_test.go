@@ -57,6 +57,25 @@ func TestFactsMarkBitsetProducersFresh(t *testing.T) {
 	}
 }
 
+// TestFactsMarkFacadeShimsDeprecated pins the redesign contract: the
+// topkrgs compatibility shims must carry Deprecated: docs so the
+// deprecatedapi analyzer keeps the rest of the repo off them.
+func TestFactsMarkFacadeShimsDeprecated(t *testing.T) {
+	pkgs := mustLoadModule(t)
+	facts := ComputeFacts(pkgs)
+	deprecated := map[string]bool{}
+	for obj := range facts.Deprecated {
+		if obj.Pkg() != nil && obj.Pkg().Path() == "repro/topkrgs" {
+			deprecated[obj.Name()] = true
+		}
+	}
+	for _, name := range []string{"MineLegacy", "MineContext", "TrainRCBTLegacy", "Options"} {
+		if !deprecated[name] {
+			t.Errorf("topkrgs.%s not registered as deprecated", name)
+		}
+	}
+}
+
 func TestMainJSONAndFlags(t *testing.T) {
 	root, err := FindModuleRoot(".")
 	if err != nil {
@@ -87,7 +106,7 @@ func TestMainJSONAndFlags(t *testing.T) {
 	if code := Main(&out, &errOut, []string{"-list"}); code != 0 {
 		t.Fatalf("-list exit %d", code)
 	}
-	for _, name := range []string{"bitsetalias", "floatcmp", "panichygiene", "uncheckederr", "syncguard"} {
+	for _, name := range []string{"bitsetalias", "deprecatedapi", "floatcmp", "panichygiene", "uncheckederr", "syncguard"} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -114,7 +133,7 @@ func TestSelectAnalyzers(t *testing.T) {
 		t.Fatalf("enable filter failed: %v", s)
 	}
 	s = selectAnalyzers(DefaultSuite(), "", "floatcmp", &ew)
-	if s == nil || len(s.Analyzers) != 4 || s.Lookup("floatcmp") != nil {
+	if s == nil || len(s.Analyzers) != 5 || s.Lookup("floatcmp") != nil {
 		t.Fatalf("disable filter failed")
 	}
 }

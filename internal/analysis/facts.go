@@ -7,14 +7,19 @@ import (
 )
 
 // Facts is module-wide knowledge shared by all analyzers: which
-// functions are documented to return freshly allocated bitsets.
+// functions are documented to return freshly allocated bitsets, and
+// which declarations are deprecated.
 //
 // A producer is "fresh" when its doc comment contains the marker
 // "vetsuite:fresh", or when it is one of the bitset package's own
 // constructors/pure-algebra methods (New, FromIndices, Clone,
 // Intersect, Union, Difference), which always allocate.
+//
+// A declaration is deprecated when its doc comment has a paragraph
+// starting with "Deprecated:", the standard Go convention.
 type Facts struct {
-	Fresh map[types.Object]bool
+	Fresh      map[types.Object]bool
+	Deprecated map[types.Object]bool
 }
 
 // bitsetFresh lists *bitset.Set-returning functions of the bitset
@@ -29,31 +34,74 @@ var bitsetFresh = map[string]bool{
 }
 
 // ComputeFacts scans the given packages' declarations for
-// vetsuite:fresh markers and the bitset built-ins.
+// vetsuite:fresh markers, Deprecated: doc paragraphs and the bitset
+// built-ins.
 func ComputeFacts(pkgs []*Package) *Facts {
-	facts := &Facts{Fresh: map[types.Object]bool{}}
+	facts := &Facts{
+		Fresh:      map[types.Object]bool{},
+		Deprecated: map[types.Object]bool{},
+	}
 	for _, pkg := range pkgs {
 		inBitset := isBitsetPkgPath(pkg.Path)
 		for _, file := range pkg.Files {
 			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok {
-					continue
-				}
-				obj := pkg.Info.Defs[fd.Name]
-				if obj == nil {
-					continue
-				}
-				if fd.Doc != nil && strings.Contains(fd.Doc.Text(), "vetsuite:fresh") {
-					facts.Fresh[obj] = true
-				}
-				if inBitset && bitsetFresh[fd.Name.Name] {
-					facts.Fresh[obj] = true
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					obj := pkg.Info.Defs[d.Name]
+					if obj == nil {
+						continue
+					}
+					if d.Doc != nil && strings.Contains(d.Doc.Text(), "vetsuite:fresh") {
+						facts.Fresh[obj] = true
+					}
+					if inBitset && bitsetFresh[d.Name.Name] {
+						facts.Fresh[obj] = true
+					}
+					if isDeprecatedDoc(d.Doc) {
+						facts.Deprecated[obj] = true
+					}
+				case *ast.GenDecl:
+					// Types, vars and consts: the GenDecl doc applies to
+					// every spec, a per-spec doc only to its own.
+					for _, spec := range d.Specs {
+						var names []*ast.Ident
+						var doc *ast.CommentGroup
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							names, doc = []*ast.Ident{s.Name}, s.Doc
+						case *ast.ValueSpec:
+							names, doc = s.Names, s.Doc
+						default:
+							continue
+						}
+						if !isDeprecatedDoc(doc) && !isDeprecatedDoc(d.Doc) {
+							continue
+						}
+						for _, name := range names {
+							if obj := pkg.Info.Defs[name]; obj != nil {
+								facts.Deprecated[obj] = true
+							}
+						}
+					}
 				}
 			}
 		}
 	}
 	return facts
+}
+
+// isDeprecatedDoc reports whether a doc comment has a paragraph
+// starting with the conventional "Deprecated:" marker.
+func isDeprecatedDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, para := range strings.Split(doc.Text(), "\n\n") {
+		if strings.HasPrefix(strings.TrimSpace(para), "Deprecated:") {
+			return true
+		}
+	}
+	return false
 }
 
 // isBitsetPkgPath reports whether an import path is the bitset package.

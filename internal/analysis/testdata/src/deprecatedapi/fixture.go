@@ -1,0 +1,25 @@
+// Package deprecatedapi exercises the deprecated-use analyzer.
+package deprecatedapi
+
+import dep "repro/internal/analysis/testdata/src/deprecatedapidep"
+
+func callsLegacy() []string {
+	return dep.SearchLegacy("q", 3) // want `use of deprecated deprecatedapidep.SearchLegacy`
+}
+
+func usesLegacyType() int {
+	var o dep.LegacyOptions // want `use of deprecated deprecatedapidep.LegacyOptions`
+	return o.Limit
+}
+
+func readsLegacyVar() int {
+	return dep.LegacyCount // want `use of deprecated deprecatedapidep.LegacyCount`
+}
+
+func callsCurrent() []string {
+	return dep.Search("q", dep.Options{Limit: 3}) // ok: current API
+}
+
+func allowed() []string {
+	return dep.SearchLegacy("q", 1) // vetsuite:allow deprecatedapi -- pinned compatibility path
+}

@@ -1,0 +1,31 @@
+// Package deprecatedapidep is a fixture dependency: a facade that went
+// through an options redesign and keeps deprecated shims around.
+package deprecatedapidep
+
+// Options configures Search.
+type Options struct {
+	Limit int
+}
+
+// Search is the current entry point.
+func Search(q string, opts Options) []string {
+	_ = q
+	return nil
+}
+
+// SearchLegacy is the positional form kept for one release.
+//
+// Deprecated: use Search with Options instead.
+func SearchLegacy(q string, limit int) []string {
+	return Search(q, Options{Limit: limit}) // ok: defining package delegates
+}
+
+// LegacyOptions is the pre-redesign option struct.
+//
+// Deprecated: use Options.
+type LegacyOptions struct {
+	Limit int
+}
+
+// Deprecated: use the Search result length.
+var LegacyCount int

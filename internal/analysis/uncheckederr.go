@@ -7,8 +7,9 @@ import (
 )
 
 // UncheckedErrAnalyzer flags dropped error returns in the packages that
-// talk to the outside world: cmd/ binaries and the internal/bench and
-// internal/report writers. A call whose error result is discarded by an
+// talk to the outside world: cmd/ binaries, the internal/bench and
+// internal/report writers, and the internal/serve HTTP layer. A call
+// whose error result is discarded by an
 // expression statement (or a deferred call) silently loses ENOSPC on
 // result files and truncated model saves.
 //
@@ -22,7 +23,7 @@ import (
 // *os.File is flagged.
 var UncheckedErrAnalyzer = &Analyzer{
 	Name: "uncheckederr",
-	Doc:  "flags dropped error returns in cmd/, internal/bench and internal/report",
+	Doc:  "flags dropped error returns in cmd/, internal/bench, internal/report and internal/serve",
 	Run:  runUncheckedErr,
 }
 
@@ -31,7 +32,8 @@ var UncheckedErrAnalyzer = &Analyzer{
 func uncheckedErrScope(path string) bool {
 	return strings.Contains(path, "/cmd/") ||
 		strings.HasSuffix(path, "/internal/bench") ||
-		strings.HasSuffix(path, "/internal/report")
+		strings.HasSuffix(path, "/internal/report") ||
+		strings.HasSuffix(path, "/internal/serve")
 }
 
 func runUncheckedErr(pass *Pass) {

@@ -1,24 +1,49 @@
 package cba
 
 import (
-	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"io"
 )
 
-// Save serializes the classifier with encoding/gob.
+// SchemaVersion is the envelope schema written by Save; Load accepts
+// exactly this version (see internal/rcbt for the envelope rationale).
+const SchemaVersion = 1
+
+const modelKind = "cba-model"
+
+// envelope is the on-disk JSON layout. Classifier's fields are all
+// exported and JSON-safe (rule row-support bitsets are never part of a
+// trained CBA model), so it embeds directly.
+type envelope struct {
+	Schema     int         `json:"schema"`
+	Kind       string      `json:"kind"`
+	Classifier *Classifier `json:"classifier"`
+}
+
+// Save writes the classifier as a schema-versioned JSON envelope.
 func (c *Classifier) Save(w io.Writer) error {
-	return gob.NewEncoder(w).Encode(c)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(envelope{Schema: SchemaVersion, Kind: modelKind, Classifier: c})
 }
 
 // Load reads a classifier written by Save.
 func Load(r io.Reader) (*Classifier, error) {
-	var c Classifier
-	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
 		return nil, fmt.Errorf("cba: load: %v", err)
 	}
-	if c.NumItems < 0 {
+	if env.Kind != modelKind {
+		return nil, fmt.Errorf("cba: load: not a CBA model (kind %q)", env.Kind)
+	}
+	if env.Schema != SchemaVersion {
+		return nil, fmt.Errorf("cba: load: unsupported schema version %d (supported: %d)",
+			env.Schema, SchemaVersion)
+	}
+	c := env.Classifier
+	if c == nil || c.NumItems < 0 {
 		return nil, fmt.Errorf("cba: load: malformed model")
 	}
-	return &c, nil
+	return c, nil
 }

@@ -26,6 +26,37 @@ func (dz *Discretizer) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// FromCuts rebuilds a discretizer from serialized cut points — the
+// reconstruction hook for model envelopes (see internal/rcbt's model
+// persistence). cuts[g] holds gene g's strictly ascending cut points;
+// an empty slice marks a gene rejected by MDL. The item table is
+// rebuilt deterministically, so item ids match the fitting run's.
+func FromCuts(classNames, geneNames []string, cuts [][]float64) (*Discretizer, error) {
+	if len(classNames) < 2 {
+		return nil, fmt.Errorf("discretize: need at least 2 classes, have %d", len(classNames))
+	}
+	if len(geneNames) != len(cuts) {
+		return nil, fmt.Errorf("discretize: %d gene names but %d cut lists", len(geneNames), len(cuts))
+	}
+	if len(geneNames) == 0 {
+		return nil, fmt.Errorf("discretize: no genes")
+	}
+	for g, cs := range cuts {
+		for i := 1; i < len(cs); i++ {
+			if cs[i] <= cs[i-1] {
+				return nil, fmt.Errorf("discretize: gene %s cuts not strictly ascending", geneNames[g])
+			}
+		}
+	}
+	dz := &Discretizer{
+		Cuts:       cuts,
+		GeneNames:  geneNames,
+		ClassNames: classNames,
+	}
+	dz.buildItems()
+	return dz, nil
+}
+
 // Read parses a discretizer written by Write.
 func Read(r io.Reader) (*Discretizer, error) {
 	sc := bufio.NewScanner(r)

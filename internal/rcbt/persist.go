@@ -1,63 +1,249 @@
 package rcbt
 
 import (
-	"encoding/gob"
+	"encoding/json"
 	"fmt"
 	"io"
 
 	"repro/internal/dataset"
+	"repro/internal/discretize"
 	"repro/internal/rules"
 )
 
-// persisted is the wire form of a Classifier (gob requires exported
-// fields; the in-memory type keeps its internals private).
-type persisted struct {
-	Subs       []persistedSub
-	Def        dataset.Label
-	ClassCount []int
-	NumClasses int
+// ModelSchemaVersion is the envelope schema written by Save. Load
+// accepts exactly this version; the field exists so a future layout
+// change can fail loudly instead of mis-decoding old files.
+const ModelSchemaVersion = 1
+
+// modelKind tags the envelope so an RCBT loader rejects files written
+// by other model types (see internal/cba).
+const modelKind = "rcbt-model"
+
+// Meta is free-form dataset provenance carried inside the envelope: it
+// is not needed to classify, but it lets a serving layer report what a
+// model was trained on.
+type Meta struct {
+	// Dataset names the training data (file path or profile name).
+	Dataset string `json:"dataset,omitempty"`
+	// TrainRows / Genes record the training matrix shape.
+	TrainRows int `json:"trainRows,omitempty"`
+	Genes     int `json:"genes,omitempty"`
+	// CreatedAt is an RFC3339 timestamp set by the writer.
+	CreatedAt string `json:"createdAt,omitempty"`
 }
 
-type persistedSub struct {
-	Rules []*rules.Rule
-	Norm  []float64
+// Model bundles everything needed to serve classifications: the
+// trained classifier, the discretization cuts that map raw expression
+// values to item ids (optional — models trained on pre-discretized
+// datasets have none), the class names, and provenance metadata.
+type Model struct {
+	Classifier  *Classifier
+	Discretizer *discretize.Discretizer // nil when trained on an item dataset
+	ClassNames  []string
+	NumItems    int // item universe size rule antecedents index into
+	Meta        Meta
 }
 
-// Save serializes the classifier with encoding/gob. Rule row-support
-// bitsets are not part of the model and are not written.
-func (c *Classifier) Save(w io.Writer) error {
-	p := persisted{
-		Def:        c.def,
+// envelope is the on-disk JSON layout (schema version 1).
+type envelope struct {
+	Schema     int               `json:"schema"`
+	Kind       string            `json:"kind"`
+	Meta       Meta              `json:"meta,omitempty"`
+	ClassNames []string          `json:"classNames,omitempty"`
+	NumItems   int               `json:"numItems,omitempty"`
+	Cuts       *cutsSection      `json:"discretizer,omitempty"`
+	Classifier classifierSection `json:"classifier"`
+}
+
+// cutsSection serializes a discretizer: per-gene entropy-MDL cut
+// points. Genes with no cuts were rejected by MDL and yield no items.
+type cutsSection struct {
+	ClassNames []string   `json:"classes"`
+	Genes      []geneCuts `json:"genes"`
+}
+
+type geneCuts struct {
+	Name string    `json:"name"`
+	Cuts []float64 `json:"cuts,omitempty"`
+}
+
+type classifierSection struct {
+	Default    dataset.Label `json:"default"`
+	ClassCount []int         `json:"classCount"`
+	NumClasses int           `json:"numClasses"`
+	Subs       []subSection  `json:"subs"`
+}
+
+type subSection struct {
+	Rules []ruleSection `json:"rules"`
+	Norm  []float64     `json:"norm"`
+}
+
+type ruleSection struct {
+	Items      []int         `json:"items"`
+	Class      dataset.Label `json:"class"`
+	Support    int           `json:"sup"`
+	Confidence float64       `json:"conf"`
+}
+
+// NumClasses returns the class universe size the classifier votes over.
+func (c *Classifier) NumClasses() int { return c.numClasses }
+
+// section converts the in-memory classifier to its wire form.
+func (c *Classifier) section() classifierSection {
+	s := classifierSection{
+		Default:    c.def,
 		ClassCount: c.classCount,
 		NumClasses: c.numClasses,
 	}
 	for _, sub := range c.subs {
-		p.Subs = append(p.Subs, persistedSub{Rules: sub.rules, Norm: sub.norm})
+		ws := subSection{Norm: sub.norm}
+		for _, r := range sub.rules {
+			ws.Rules = append(ws.Rules, ruleSection{
+				Items:      r.Antecedent,
+				Class:      r.Class,
+				Support:    r.Support,
+				Confidence: r.Confidence,
+			})
+		}
+		s.Subs = append(s.Subs, ws)
 	}
-	return gob.NewEncoder(w).Encode(p)
+	return s
 }
 
-// Load reads a classifier written by Save.
-func Load(r io.Reader) (*Classifier, error) {
-	var p persisted
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("rcbt: load: %v", err)
-	}
-	if p.NumClasses < 2 || len(p.ClassCount) != p.NumClasses {
+// classifierFromSection rebuilds a Classifier, validating shape
+// invariants so a truncated or hand-edited file fails here rather than
+// at prediction time.
+func classifierFromSection(s classifierSection) (*Classifier, error) {
+	if s.NumClasses < 2 || len(s.ClassCount) != s.NumClasses {
 		return nil, fmt.Errorf("rcbt: load: malformed model (%d classes, %d counts)",
-			p.NumClasses, len(p.ClassCount))
+			s.NumClasses, len(s.ClassCount))
+	}
+	if int(s.Default) < 0 || int(s.Default) >= s.NumClasses {
+		return nil, fmt.Errorf("rcbt: load: default class %d outside [0,%d)", s.Default, s.NumClasses)
 	}
 	c := &Classifier{
-		def:        p.Def,
-		classCount: p.ClassCount,
-		numClasses: p.NumClasses,
+		def:        s.Default,
+		classCount: s.ClassCount,
+		numClasses: s.NumClasses,
 	}
-	for _, sub := range p.Subs {
-		if len(sub.Norm) != p.NumClasses {
-			return nil, fmt.Errorf("rcbt: load: sub-classifier norm length %d != %d classes",
-				len(sub.Norm), p.NumClasses)
+	for i, sub := range s.Subs {
+		if len(sub.Norm) != s.NumClasses {
+			return nil, fmt.Errorf("rcbt: load: sub-classifier %d norm length %d != %d classes",
+				i, len(sub.Norm), s.NumClasses)
 		}
-		c.subs = append(c.subs, subClassifier{rules: sub.Rules, norm: sub.Norm})
+		ms := subClassifier{norm: sub.Norm}
+		for _, r := range sub.Rules {
+			if int(r.Class) < 0 || int(r.Class) >= s.NumClasses {
+				return nil, fmt.Errorf("rcbt: load: rule class %d outside [0,%d)", r.Class, s.NumClasses)
+			}
+			ms.rules = append(ms.rules, &rules.Rule{
+				Antecedent: r.Items,
+				Class:      r.Class,
+				Support:    r.Support,
+				Confidence: r.Confidence,
+			})
+		}
+		c.subs = append(c.subs, ms)
 	}
 	return c, nil
+}
+
+// Save writes the classifier alone as a schema-versioned JSON envelope.
+// Rule row-support bitsets are not part of the model and are not
+// written. To bundle discretization cuts for serving raw expression
+// rows, save a Model instead.
+func (c *Classifier) Save(w io.Writer) error {
+	return writeEnvelope(w, envelope{
+		Schema:     ModelSchemaVersion,
+		Kind:       modelKind,
+		Classifier: c.section(),
+	})
+}
+
+// Save writes the full model envelope: classifier, discretization
+// cuts, class names and metadata.
+func (m *Model) Save(w io.Writer) error {
+	if m.Classifier == nil {
+		return fmt.Errorf("rcbt: save: model has no classifier")
+	}
+	env := envelope{
+		Schema:     ModelSchemaVersion,
+		Kind:       modelKind,
+		Meta:       m.Meta,
+		ClassNames: m.ClassNames,
+		NumItems:   m.NumItems,
+		Classifier: m.Classifier.section(),
+	}
+	if dz := m.Discretizer; dz != nil {
+		cs := &cutsSection{ClassNames: dz.ClassNames}
+		for g, name := range dz.GeneNames {
+			cs.Genes = append(cs.Genes, geneCuts{Name: name, Cuts: dz.Cuts[g]})
+		}
+		env.Cuts = cs
+	}
+	return writeEnvelope(w, env)
+}
+
+func writeEnvelope(w io.Writer, env envelope) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(env)
+}
+
+// Load reads a classifier written by (*Classifier).Save or
+// (*Model).Save, discarding any bundled discretizer.
+func Load(r io.Reader) (*Classifier, error) {
+	m, err := LoadModel(r)
+	if err != nil {
+		return nil, err
+	}
+	return m.Classifier, nil
+}
+
+// LoadModel reads a model envelope written by Save, verifying the
+// schema version and kind tag.
+func LoadModel(r io.Reader) (*Model, error) {
+	var env envelope
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("rcbt: load: %v", err)
+	}
+	if env.Kind != modelKind {
+		return nil, fmt.Errorf("rcbt: load: not an RCBT model (kind %q)", env.Kind)
+	}
+	if env.Schema != ModelSchemaVersion {
+		return nil, fmt.Errorf("rcbt: load: unsupported schema version %d (supported: %d)",
+			env.Schema, ModelSchemaVersion)
+	}
+	c, err := classifierFromSection(env.Classifier)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		Classifier: c,
+		ClassNames: env.ClassNames,
+		NumItems:   env.NumItems,
+		Meta:       env.Meta,
+	}
+	if env.Cuts != nil {
+		names := make([]string, len(env.Cuts.Genes))
+		cuts := make([][]float64, len(env.Cuts.Genes))
+		for i, g := range env.Cuts.Genes {
+			names[i] = g.Name
+			cuts[i] = g.Cuts
+		}
+		dz, err := discretize.FromCuts(env.Cuts.ClassNames, names, cuts)
+		if err != nil {
+			return nil, fmt.Errorf("rcbt: load: %v", err)
+		}
+		m.Discretizer = dz
+		if m.NumItems == 0 {
+			m.NumItems = dz.NumItems()
+		}
+		if len(m.ClassNames) == 0 {
+			m.ClassNames = dz.ClassNames
+		}
+	}
+	return m, nil
 }

@@ -2,10 +2,13 @@ package rcbt
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/synth"
 )
 
 func TestSaveLoadRoundTrip(t *testing.T) {
@@ -36,8 +39,90 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEnvelopeIsVersionedJSON(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	c, err := Train(d, Config{K: 1, NL: 2, MinsupFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Schema int    `json:"schema"`
+		Kind   string `json:"kind"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &env); err != nil {
+		t.Fatalf("envelope is not JSON: %v", err)
+	}
+	if env.Schema != ModelSchemaVersion || env.Kind != "rcbt-model" {
+		t.Fatalf("envelope header = %+v", env)
+	}
+}
+
+// TestModelRoundTripSynthetic trains on a synthetic matrix, saves the
+// full envelope (classifier + discretization cuts), reloads it, and
+// requires bit-identical predictions on every raw test row — the
+// train-once / classify-many lifecycle cmd/rcbt -save and rcbtserved
+// rely on.
+func TestModelRoundTripSynthetic(t *testing.T) {
+	p := synth.Scaled(synth.ALL(), 80)
+	trainM, testM, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dz, err := discretize.FitMatrix(trainM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dTrain, err := dz.Transform(trainM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Train(dTrain, Config{K: 2, NL: 3, MinsupFrac: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{
+		Classifier:  c,
+		Discretizer: dz,
+		ClassNames:  dTrain.ClassNames,
+		NumItems:    dTrain.NumItems(),
+		Meta:        Meta{Dataset: p.Name, TrainRows: trainM.NumRows(), Genes: trainM.NumGenes()},
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Discretizer == nil {
+		t.Fatal("discretizer lost in round trip")
+	}
+	if loaded.NumItems != m.NumItems {
+		t.Fatalf("NumItems %d != %d", loaded.NumItems, m.NumItems)
+	}
+	if loaded.Meta.Dataset != p.Name {
+		t.Fatalf("meta lost: %+v", loaded.Meta)
+	}
+	// Classify raw rows through both pipelines.
+	for r := 0; r < testM.NumRows(); r++ {
+		l1, i1, err1 := m.PredictValues(testM.Values[r])
+		l2, i2, err2 := loaded.PredictValues(testM.Values[r])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %d: predict errors %v / %v", r, err1, err2)
+		}
+		if l1 != l2 || i1 != i2 {
+			t.Fatalf("row %d: prediction changed (%v,%d) vs (%v,%d)", r, l1, i1, l2, i2)
+		}
+	}
+}
+
 func TestLoadRejectsGarbage(t *testing.T) {
-	if _, err := Load(strings.NewReader("not a gob stream")); err == nil {
+	if _, err := Load(strings.NewReader("not a json document")); err == nil {
 		t.Fatal("garbage input must error")
 	}
 }

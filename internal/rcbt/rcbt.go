@@ -7,7 +7,9 @@
 package rcbt
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/cba"
@@ -17,15 +19,19 @@ import (
 	"repro/internal/rules"
 )
 
-// Config controls RCBT training.
+// Config controls RCBT training. The zero value trains with the
+// paper's defaults (K=10, NL=20, MinsupFrac=0.7); any field left at
+// zero takes its default. The tuning fields share the engine.Options
+// vocabulary: Workers, MaxNodes, Timeout.
 type Config struct {
 	// K is the number of covering rule groups per row: one main
-	// classifier plus K-1 standby classifiers (paper: 10).
+	// classifier plus K-1 standby classifiers (paper: 10; 0 = 10).
 	K int
 	// NL is the number of shortest lower-bound rules per rule group
-	// (paper: 20).
+	// (paper: 20; 0 = 20).
 	NL int
-	// MinsupFrac is the per-class relative minimum support (paper: 0.7).
+	// MinsupFrac is the per-class relative minimum support (paper: 0.7;
+	// 0 = 0.7).
 	MinsupFrac float64
 	// LBMaxLen / LBMaxCandidates bound the FindLB search (0 = defaults).
 	LBMaxLen        int
@@ -33,11 +39,59 @@ type Config struct {
 	// Workers is the mining worker count per class (0 or 1 =
 	// sequential); the trained classifier is identical either way.
 	Workers int
+	// MaxNodes caps enumeration nodes per mined class (0 = unbounded);
+	// when exceeded the miner returns its partial per-row lists and
+	// training proceeds on those.
+	MaxNodes int
+	// Timeout bounds the whole training run (0 = no limit). It composes
+	// with any deadline already on the caller's context; whichever
+	// expires first aborts training with context.DeadlineExceeded.
+	Timeout time.Duration
 }
 
 // DefaultConfig mirrors the paper's RCBT setup (k=10, nl=20,
-// minsup=0.7).
+// minsup=0.7). Since the zero Config now defaults every unset field,
+// DefaultConfig is equivalent to Config{} and kept for readability.
 func DefaultConfig() Config { return Config{K: 10, NL: 20, MinsupFrac: 0.7} }
+
+// withDefaults resolves zero fields to the paper's defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.K == 0 {
+		cfg.K = 10
+	}
+	if cfg.NL == 0 {
+		cfg.NL = 20
+	}
+	if cfg.MinsupFrac == 0 {
+		cfg.MinsupFrac = 0.7
+	}
+	return cfg
+}
+
+// Validate reports the first invalid field of the config, after
+// zero-value defaulting. A nil error means Train will accept it.
+func (cfg Config) Validate() error {
+	cfg = cfg.withDefaults()
+	if cfg.K < 1 {
+		return fmt.Errorf("rcbt: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.NL < 1 {
+		return fmt.Errorf("rcbt: NL must be >= 1, got %d", cfg.NL)
+	}
+	if cfg.MinsupFrac < 0 || cfg.MinsupFrac > 1 {
+		return fmt.Errorf("rcbt: MinsupFrac %v outside (0,1]", cfg.MinsupFrac)
+	}
+	if cfg.Workers < 0 {
+		return fmt.Errorf("rcbt: Workers must be >= 0, got %d", cfg.Workers)
+	}
+	if cfg.MaxNodes < 0 {
+		return fmt.Errorf("rcbt: MaxNodes must be >= 0, got %d", cfg.MaxNodes)
+	}
+	if cfg.Timeout < 0 {
+		return fmt.Errorf("rcbt: Timeout must be >= 0, got %v", cfg.Timeout)
+	}
+	return nil
+}
 
 // subClassifier is one of CL_1..CL_k: a coverage-selected rule list
 // with per-class score normalizers.
@@ -63,15 +117,25 @@ type Stats struct {
 }
 
 // Train builds an RCBT classifier from a discretized training dataset.
+// It is TrainContext without cancellation.
 func Train(d *dataset.Dataset, cfg Config) (*Classifier, error) {
-	if cfg.K < 1 {
-		return nil, fmt.Errorf("rcbt: K must be >= 1, got %d", cfg.K)
+	return TrainContext(context.Background(), d, cfg)
+}
+
+// TrainContext builds an RCBT classifier with cancellation: ctx
+// cancellation or deadline expiry (including cfg.Timeout) stops the
+// underlying mining and lower-bound search promptly and returns
+// ctx.Err() with a nil Classifier. The zero Config trains with the
+// paper's defaults.
+func TrainContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Classifier, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
-	if cfg.NL < 1 {
-		return nil, fmt.Errorf("rcbt: NL must be >= 1, got %d", cfg.NL)
-	}
-	if cfg.MinsupFrac <= 0 || cfg.MinsupFrac > 1 {
-		return nil, fmt.Errorf("rcbt: MinsupFrac %v outside (0,1]", cfg.MinsupFrac)
+	cfg = cfg.withDefaults()
+	if cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Timeout)
+		defer cancel()
 	}
 
 	classCount := make([]int, d.NumClasses())
@@ -95,8 +159,12 @@ func Train(d *dataset.Dataset, cfg Config) (*Classifier, error) {
 		}
 		mc := core.DefaultConfig(minsup, cfg.K)
 		mc.Workers = cfg.Workers
-		res, err := core.Mine(d, label, mc)
+		mc.MaxNodes = cfg.MaxNodes
+		res, err := core.MineContext(ctx, d, label, mc)
 		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
 			return nil, fmt.Errorf("rcbt: mining class %s: %v", d.ClassNames[cls], err)
 		}
 		perClass[cls] = res
@@ -109,6 +177,11 @@ func Train(d *dataset.Dataset, cfg Config) (*Classifier, error) {
 	itemScores := lowerbound.DefaultItemScores(d)
 	lbCache := map[*rules.Group][]*rules.Rule{}
 	for j := 0; j < cfg.K; j++ {
+		// The lower-bound search below can dwarf the mining time on wide
+		// datasets; honor cancellation between ranks.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// RG_j: groups appearing at rank j for at least one training row.
 		seen := map[*rules.Group]bool{}
 		var rg []*rules.Group

@@ -1,9 +1,11 @@
 package rcbt
 
 import (
-	"bytes"
-	"encoding/gob"
+	"context"
+	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
@@ -46,14 +48,66 @@ func TestTrainOnRunningExample(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	d, _ := dataset.RunningExample()
-	if _, err := Train(d, Config{K: 0, NL: 1, MinsupFrac: 0.5}); err == nil {
-		t.Fatal("K=0 must error")
+	if _, err := Train(d, Config{K: -1, NL: 1, MinsupFrac: 0.5}); err == nil {
+		t.Fatal("K<0 must error")
 	}
-	if _, err := Train(d, Config{K: 1, NL: 0, MinsupFrac: 0.5}); err == nil {
-		t.Fatal("NL=0 must error")
+	if _, err := Train(d, Config{K: 1, NL: -1, MinsupFrac: 0.5}); err == nil {
+		t.Fatal("NL<0 must error")
 	}
-	if _, err := Train(d, Config{K: 1, NL: 1, MinsupFrac: 0}); err == nil {
-		t.Fatal("MinsupFrac=0 must error")
+	if _, err := Train(d, Config{K: 1, NL: 1, MinsupFrac: 1.5}); err == nil {
+		t.Fatal("MinsupFrac>1 must error")
+	}
+	if _, err := Train(d, Config{K: 1, NL: 1, MinsupFrac: -0.5}); err == nil {
+		t.Fatal("MinsupFrac<0 must error")
+	}
+	if err := (Config{Workers: -1}).Validate(); err == nil {
+		t.Fatal("Workers<0 must error")
+	}
+	if err := (Config{MaxNodes: -1}).Validate(); err == nil {
+		t.Fatal("MaxNodes<0 must error")
+	}
+	if err := (Config{Timeout: -time.Second}).Validate(); err == nil {
+		t.Fatal("Timeout<0 must error")
+	}
+}
+
+func TestZeroConfigIsDefault(t *testing.T) {
+	// The zero Config must behave exactly like DefaultConfig.
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config invalid: %v", err)
+	}
+	got, want := Config{}.withDefaults(), DefaultConfig()
+	if got.K != want.K || got.NL != want.NL || got.MinsupFrac != want.MinsupFrac {
+		t.Fatalf("zero-config defaults %+v != DefaultConfig %+v", got, want)
+	}
+	d, _ := dataset.RunningExample()
+	// Training the 5-row example with the full paper defaults must work.
+	if _, err := Train(d, Config{}); err != nil {
+		t.Fatalf("Train with zero config: %v", err)
+	}
+}
+
+func TestTrainContextCancellation(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c, err := TrainContext(ctx, d, Config{K: 2, NL: 3, MinsupFrac: 0.5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c != nil {
+		t.Fatal("cancelled training must not return a classifier")
+	}
+}
+
+func TestTrainContextTimeout(t *testing.T) {
+	// An already-expired composed deadline must abort with
+	// context.DeadlineExceeded through the cfg.Timeout path.
+	d, _ := dataset.RunningExample()
+	_, err := TrainContext(context.Background(), d,
+		Config{K: 2, NL: 3, MinsupFrac: 0.5, Timeout: time.Nanosecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
 	}
 }
 
@@ -214,23 +268,25 @@ func TestScoreZeroClassCount(t *testing.T) {
 }
 
 func TestLoadRejectsMalformedModels(t *testing.T) {
-	// A structurally valid gob with inconsistent fields must be rejected.
-	var buf bytes.Buffer
-	enc := gob.NewEncoder(&buf)
-	if err := enc.Encode(persisted{NumClasses: 1, ClassCount: []int{3}}); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Load(&buf); err == nil {
-		t.Fatal("single-class model must be rejected")
-	}
-	buf.Reset()
-	if err := gob.NewEncoder(&buf).Encode(persisted{
-		NumClasses: 2, ClassCount: []int{1, 1},
-		Subs: []persistedSub{{Norm: []float64{1}}},
-	}); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := Load(&buf); err == nil {
-		t.Fatal("norm-length mismatch must be rejected")
+	// Structurally valid JSON with inconsistent fields must be rejected.
+	for name, doc := range map[string]string{
+		"single class": `{"schema":1,"kind":"rcbt-model",
+			"classifier":{"default":0,"classCount":[3],"numClasses":1,"subs":[]}}`,
+		"norm length": `{"schema":1,"kind":"rcbt-model",
+			"classifier":{"default":0,"classCount":[1,1],"numClasses":2,
+			"subs":[{"rules":[],"norm":[1]}]}}`,
+		"default out of range": `{"schema":1,"kind":"rcbt-model",
+			"classifier":{"default":5,"classCount":[1,1],"numClasses":2,"subs":[]}}`,
+		"rule class out of range": `{"schema":1,"kind":"rcbt-model",
+			"classifier":{"default":0,"classCount":[1,1],"numClasses":2,
+			"subs":[{"rules":[{"items":[0],"class":7,"sup":1,"conf":1}],"norm":[1,1]}]}}`,
+		"wrong kind": `{"schema":1,"kind":"cba-model",
+			"classifier":{"default":0,"classCount":[1,1],"numClasses":2,"subs":[]}}`,
+		"future schema": `{"schema":99,"kind":"rcbt-model",
+			"classifier":{"default":0,"classCount":[1,1],"numClasses":2,"subs":[]}}`,
+	} {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: malformed model must be rejected", name)
+		}
 	}
 }

@@ -1,0 +1,273 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/rcbt"
+)
+
+// maxBodyBytes bounds request bodies so a misbehaving client cannot
+// buffer unbounded JSON into the server.
+const maxBodyBytes = 32 << 20
+
+// ClassifyRequest is the body of POST /v1/classify. Exactly one of
+// Values (raw expression row, discretized with the model's cuts) or
+// Items (pre-discretized item ids) must be set.
+type ClassifyRequest struct {
+	Model  string    `json:"model"`
+	Values []float64 `json:"values,omitempty"`
+	Items  []int     `json:"items,omitempty"`
+}
+
+// ClassifyResponse is the body of a successful classification.
+type ClassifyResponse struct {
+	Model string `json:"model"`
+	Label int    `json:"label"`
+	Class string `json:"class"`
+	// Classifier is the 0-based index of the sub-classifier that
+	// decided (0 = main), or -1 when the default class was used.
+	Classifier int `json:"classifier"`
+}
+
+// BatchRequest is the body of POST /v1/classify/batch. Each row is
+// classified independently against the same model.
+type BatchRequest struct {
+	Model string     `json:"model"`
+	Rows  []BatchRow `json:"rows"`
+}
+
+// BatchRow is one row of a batch request; the same one-of rule as
+// ClassifyRequest applies.
+type BatchRow struct {
+	Values []float64 `json:"values,omitempty"`
+	Items  []int     `json:"items,omitempty"`
+}
+
+// BatchResponse carries one result per request row, in order. Rows
+// that failed have a non-empty Error and a Label of -1.
+type BatchResponse struct {
+	Model   string        `json:"model"`
+	Results []BatchResult `json:"results"`
+}
+
+// BatchResult is the outcome for one batch row.
+type BatchResult struct {
+	Label      int    `json:"label"`
+	Class      string `json:"class,omitempty"`
+	Classifier int    `json:"classifier"`
+	Error      string `json:"error,omitempty"`
+}
+
+// ModelInfo describes one loaded model in GET /v1/models.
+type ModelInfo struct {
+	Name           string     `json:"name"`
+	Classes        []string   `json:"classes,omitempty"`
+	NumItems       int        `json:"numItems,omitempty"`
+	Genes          int        `json:"genes,omitempty"`
+	HasDiscretizer bool       `json:"hasDiscretizer"`
+	Meta           *rcbt.Meta `json:"meta,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req ClassifyRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	m, ok := s.lookupModel(w, req.Model)
+	if !ok {
+		return
+	}
+	label, idx, err := predictRow(r.Context(), m, req.Values, req.Items)
+	if err != nil {
+		writeClassifyError(w, err)
+		return
+	}
+	s.metrics.recordPrediction(req.Model, m.ClassName(label))
+	writeJSON(w, http.StatusOK, ClassifyResponse{
+		Model:      req.Model,
+		Label:      int(label),
+		Class:      m.ClassName(label),
+		Classifier: idx,
+	})
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	m, ok := s.lookupModel(w, req.Model)
+	if !ok {
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no rows")
+		return
+	}
+	if len(req.Rows) > s.maxB {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("batch has %d rows, limit is %d", len(req.Rows), s.maxB))
+		return
+	}
+
+	results := make([]BatchResult, len(req.Rows))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	workers := s.workers
+	if workers > len(req.Rows) {
+		workers = len(req.Rows)
+	}
+	ctx := r.Context()
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for idx := range jobs {
+				row := req.Rows[idx]
+				label, clfIdx, err := predictRow(ctx, m, row.Values, row.Items)
+				if err != nil {
+					results[idx] = BatchResult{Label: -1, Classifier: -1, Error: err.Error()}
+					continue
+				}
+				s.metrics.recordPrediction(req.Model, m.ClassName(label))
+				results[idx] = BatchResult{Label: int(label), Class: m.ClassName(label), Classifier: clfIdx}
+			}
+		}()
+	}
+feed:
+	for i := range req.Rows {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		writeClassifyError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Model: req.Model, Results: results})
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	infos := make([]ModelInfo, 0, len(s.models))
+	for _, name := range s.ModelNames() {
+		m := s.models[name]
+		info := ModelInfo{
+			Name:           name,
+			Classes:        m.ClassNames,
+			NumItems:       m.NumItems,
+			HasDiscretizer: m.Discretizer != nil,
+		}
+		if m.Discretizer != nil {
+			info.Genes = len(m.Discretizer.GeneNames)
+		}
+		if m.Meta != (rcbt.Meta{}) {
+			meta := m.Meta
+			info.Meta = &meta
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, http.StatusOK, map[string][]ModelInfo{"models": infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeProm(w)
+}
+
+// predictRow applies the one-of values/items rule and honours the
+// request context: expired deadlines surface as the context error so
+// callers can map them to 504.
+func predictRow(ctx context.Context, m *rcbt.Model, values []float64, items []int) (dataset.Label, int, error) {
+	if err := ctx.Err(); err != nil {
+		return -1, -1, err
+	}
+	switch {
+	case len(values) > 0 && len(items) > 0:
+		return -1, -1, shapeError("set exactly one of values or items, not both")
+	case len(values) > 0:
+		return m.PredictValues(values)
+	case len(items) > 0:
+		return m.PredictItems(items)
+	default:
+		return -1, -1, shapeError("set one of values or items")
+	}
+}
+
+// shapeError marks a malformed row specification; it maps to 400
+// rather than the 422 used for rows a valid request shape cannot
+// classify (wrong width, unknown item ids).
+type shapeError string
+
+func (e shapeError) Error() string { return string(e) }
+
+func (s *Server) lookupModel(w http.ResponseWriter, name string) (*rcbt.Model, bool) {
+	if name == "" {
+		// A single-model server does not need the name spelled out.
+		if len(s.models) == 1 {
+			for _, m := range s.models {
+				return m, true
+			}
+		}
+		writeError(w, http.StatusBadRequest, "model name required")
+		return nil, false
+	}
+	m, ok := s.models[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+		return nil, false
+	}
+	return m, true
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+func writeClassifyError(w http.ResponseWriter, err error) {
+	var shape shapeError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, "request deadline exceeded")
+	case errors.Is(err, context.Canceled):
+		writeError(w, http.StatusServiceUnavailable, "request cancelled")
+	case errors.As(err, &shape):
+		writeError(w, http.StatusBadRequest, err.Error())
+	default:
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v) // vetsuite:allow uncheckederr -- response already committed; client gone is not actionable
+}

@@ -1,0 +1,367 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/rcbt"
+	"repro/internal/synth"
+)
+
+// exampleModel trains RCBT on the paper's running example. It has no
+// discretizer, so it serves item-id requests only.
+func exampleModel(t *testing.T) *rcbt.Model {
+	t.Helper()
+	d, _ := dataset.RunningExample()
+	clf, err := rcbt.Train(d, rcbt.Config{K: 2, NL: 3, MinsupFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rcbt.Model{
+		Classifier: clf,
+		ClassNames: d.ClassNames,
+		NumItems:   d.NumItems(),
+		Meta:       rcbt.Meta{Dataset: "running-example", TrainRows: d.NumRows()},
+	}
+}
+
+// synthModel trains on a synthetic matrix and bundles the discretizer,
+// so it serves raw expression values.
+func synthModel(t *testing.T) (*rcbt.Model, *dataset.Matrix) {
+	t.Helper()
+	trainM, testM, err := synth.Generate(synth.Scaled(synth.ALL(), 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dz, err := discretize.FitMatrix(trainM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := dz.Transform(trainM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf, err := rcbt.Train(train, rcbt.Config{K: 2, NL: 3, MinsupFrac: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rcbt.Model{
+		Classifier:  clf,
+		Discretizer: dz,
+		ClassNames:  train.ClassNames,
+		NumItems:    train.NumItems(),
+	}, testM
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no models must fail")
+	}
+	if _, err := New(Config{Models: map[string]*rcbt.Model{"m": nil}}); err == nil {
+		t.Fatal("New with nil model must fail")
+	}
+}
+
+func TestClassifyMatchesInProcessPredict(t *testing.T) {
+	m := exampleModel(t)
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"example": m}})
+	d, _ := dataset.RunningExample()
+
+	for r := 0; r < d.NumRows(); r++ {
+		wantLabel, wantIdx := m.Classifier.Predict(d.RowItemSet(r))
+		body, _ := json.Marshal(ClassifyRequest{Model: "example", Items: d.Rows[r]})
+		rec := postJSON(t, s, "/v1/classify", string(body))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("row %d: status %d: %s", r, rec.Code, rec.Body)
+		}
+		var resp ClassifyResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Label != int(wantLabel) || resp.Classifier != wantIdx {
+			t.Fatalf("row %d: served (%d,%d), in-process (%d,%d)",
+				r, resp.Label, resp.Classifier, wantLabel, wantIdx)
+		}
+		if resp.Class != d.ClassNames[wantLabel] {
+			t.Fatalf("row %d: class %q, want %q", r, resp.Class, d.ClassNames[wantLabel])
+		}
+	}
+}
+
+func TestClassifyValuesMatchesInProcess(t *testing.T) {
+	m, testM := synthModel(t)
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"synth": m}})
+	for r := 0; r < testM.NumRows() && r < 10; r++ {
+		want, _, err := m.PredictValues(testM.Values[r])
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := json.Marshal(ClassifyRequest{Model: "synth", Values: testM.Values[r]})
+		rec := postJSON(t, s, "/v1/classify", string(body))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("row %d: status %d: %s", r, rec.Code, rec.Body)
+		}
+		var resp ClassifyResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Label != int(want) {
+			t.Fatalf("row %d: served label %d, in-process %d", r, resp.Label, want)
+		}
+	}
+}
+
+func TestClassifyErrors(t *testing.T) {
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"example": exampleModel(t)}})
+	for name, tc := range map[string]struct {
+		body string
+		code int
+	}{
+		"malformed json":     {`{"model": "example", "items": [`, http.StatusBadRequest},
+		"unknown field":      {`{"model": "example", "rows": []}`, http.StatusBadRequest},
+		"no row":             {`{"model": "example"}`, http.StatusBadRequest},
+		"both values+items":  {`{"model": "example", "items": [0], "values": [1.0]}`, http.StatusBadRequest},
+		"unknown model":      {`{"model": "nope", "items": [0]}`, http.StatusNotFound},
+		"item out of range":  {`{"model": "example", "items": [9999]}`, http.StatusUnprocessableEntity},
+		"values without dz":  {`{"model": "example", "values": [1.0, 2.0]}`, http.StatusUnprocessableEntity},
+		"method not allowed": {``, http.StatusMethodNotAllowed},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var rec *httptest.ResponseRecorder
+			if name == "method not allowed" {
+				req := httptest.NewRequest(http.MethodGet, "/v1/classify", nil)
+				rec = httptest.NewRecorder()
+				s.ServeHTTP(rec, req)
+			} else {
+				rec = postJSON(t, s, "/v1/classify", tc.body)
+			}
+			if rec.Code != tc.code {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.code, rec.Body)
+			}
+		})
+	}
+}
+
+func TestBatchClassify(t *testing.T) {
+	m := exampleModel(t)
+	s := newTestServer(t, Config{
+		Models:       map[string]*rcbt.Model{"example": m},
+		BatchWorkers: 3,
+	})
+	d, _ := dataset.RunningExample()
+	req := BatchRequest{Model: "example"}
+	for r := 0; r < d.NumRows(); r++ {
+		req.Rows = append(req.Rows, BatchRow{Items: d.Rows[r]})
+	}
+	// One poison row: must error per-row, not fail the batch.
+	req.Rows = append(req.Rows, BatchRow{Items: []int{12345}})
+
+	body, _ := json.Marshal(req)
+	rec := postJSON(t, s, "/v1/classify/batch", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp BatchResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Results) != d.NumRows()+1 {
+		t.Fatalf("%d results, want %d", len(resp.Results), d.NumRows()+1)
+	}
+	for r := 0; r < d.NumRows(); r++ {
+		want, _ := m.Classifier.Predict(d.RowItemSet(r))
+		if resp.Results[r].Label != int(want) {
+			t.Fatalf("row %d: label %d, want %d", r, resp.Results[r].Label, want)
+		}
+	}
+	last := resp.Results[d.NumRows()]
+	if last.Error == "" || last.Label != -1 {
+		t.Fatalf("poison row result %+v, want per-row error", last)
+	}
+}
+
+func TestBatchTooLarge(t *testing.T) {
+	s := newTestServer(t, Config{
+		Models:   map[string]*rcbt.Model{"example": exampleModel(t)},
+		MaxBatch: 2,
+	})
+	body := `{"model": "example", "rows": [{"items":[0]},{"items":[0]},{"items":[0]}]}`
+	rec := postJSON(t, s, "/v1/classify/batch", body)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d, want 413: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestRequestDeadlineExceeded(t *testing.T) {
+	s := newTestServer(t, Config{
+		Models:         map[string]*rcbt.Model{"example": exampleModel(t)},
+		RequestTimeout: time.Nanosecond,
+	})
+	rec := postJSON(t, s, "/v1/classify", `{"model": "example", "items": [0]}`)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504: %s", rec.Code, rec.Body)
+	}
+}
+
+func TestModelsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{
+		"b-example": exampleModel(t),
+		"a-example": exampleModel(t),
+	}})
+	req := httptest.NewRequest(http.MethodGet, "/v1/models", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	var resp struct {
+		Models []ModelInfo `json:"models"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Models) != 2 || resp.Models[0].Name != "a-example" {
+		t.Fatalf("models = %+v, want sorted pair", resp.Models)
+	}
+	if resp.Models[0].Meta == nil || resp.Models[0].Meta.Dataset != "running-example" {
+		t.Fatalf("meta not surfaced: %+v", resp.Models[0])
+	}
+	if resp.Models[0].HasDiscretizer {
+		t.Fatal("example model should not report a discretizer")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"example": exampleModel(t)}})
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK || !bytes.Contains(rec.Body.Bytes(), []byte("ok")) {
+		t.Fatalf("healthz: %d %s", rec.Code, rec.Body)
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"example": exampleModel(t)}})
+
+	// Generate traffic: successes, a 400 and a 404.
+	for r := 0; r < d.NumRows(); r++ {
+		body, _ := json.Marshal(ClassifyRequest{Model: "example", Items: d.Rows[r]})
+		if rec := postJSON(t, s, "/v1/classify", string(body)); rec.Code != http.StatusOK {
+			t.Fatalf("warmup status %d", rec.Code)
+		}
+	}
+	postJSON(t, s, "/v1/classify", `{`)
+	postJSON(t, s, "/v1/classify", `{"model": "nope", "items": [0]}`)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		fmt.Sprintf(`rcbtserved_requests_total{path="/v1/classify",code="200"} %d`, d.NumRows()),
+		`rcbtserved_requests_total{path="/v1/classify",code="400"} 1`,
+		`rcbtserved_requests_total{path="/v1/classify",code="404"} 1`,
+		`rcbtserved_predictions_total{model="example",class="C"}`,
+		`rcbtserved_request_seconds_count 7`,
+		// The scrape itself is the one in-flight request.
+		`rcbtserved_in_flight 1`,
+		`# TYPE rcbtserved_request_seconds histogram`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+// TestCheckedInFixtureServes guards the committed CI smoke fixtures:
+// testdata/model.json must load and classify testdata/
+// classify_request.json successfully.
+func TestCheckedInFixtureServes(t *testing.T) {
+	f, err := os.Open(filepath.Join("testdata", "model.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := rcbt.LoadModel(f)
+	f.Close() // vetsuite:allow uncheckederr -- read-only test fixture
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"fixture": m}})
+
+	reqBody, err := os.ReadFile(filepath.Join("testdata", "classify_request.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := postJSON(t, s, "/v1/classify", string(reqBody))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fixture classify: %d %s", rec.Code, rec.Body)
+	}
+	var resp ClassifyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Class == "" || resp.Label < 0 {
+		t.Fatalf("fixture classify response: %+v", resp)
+	}
+}
+
+func TestServedModelFromEnvelopeRoundTrip(t *testing.T) {
+	// A model that went through Save/LoadModel must serve identically
+	// to the in-memory one.
+	m := exampleModel(t)
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := rcbt.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"example": loaded}})
+	d, _ := dataset.RunningExample()
+	for r := 0; r < d.NumRows(); r++ {
+		want, _ := m.Classifier.Predict(d.RowItemSet(r))
+		body, _ := json.Marshal(ClassifyRequest{Model: "example", Items: d.Rows[r]})
+		rec := postJSON(t, s, "/v1/classify", string(body))
+		var resp ClassifyResponse
+		if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Label != int(want) {
+			t.Fatalf("row %d: served %d, want %d", r, resp.Label, want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+// Package serve exposes trained RCBT classifiers over an HTTP JSON
+// API. A Server owns a set of named models (the envelopes written by
+// rcbt.Model.Save / cmd/rcbt -save), classifies single rows and
+// bounded batches, and reports Prometheus-style metrics.
+//
+// Endpoints:
+//
+//	POST /v1/classify        classify one row of a named model
+//	POST /v1/classify/batch  classify up to Config.MaxBatch rows
+//	GET  /v1/models          list loaded models and their metadata
+//	GET  /healthz            liveness probe
+//	GET  /metrics            Prometheus text exposition
+//
+// All state is per-Server: tests and embedders can run any number of
+// instances in one process.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/rcbt"
+)
+
+// Defaults applied by New when the corresponding Config field is zero.
+const (
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultMaxBatch       = 1024
+	DefaultBatchWorkers   = 4
+)
+
+// Config configures a Server. The zero value of every field means
+// "use the default"; Models is the only required field.
+type Config struct {
+	// Models maps a serving name (used in request bodies and URLs)
+	// to a loaded model.
+	Models map[string]*rcbt.Model
+
+	// RequestTimeout bounds the handling of a single request. When it
+	// expires mid-request the response is 504 Gateway Timeout.
+	RequestTimeout time.Duration
+
+	// MaxBatch caps the rows accepted by /v1/classify/batch; larger
+	// requests are rejected with 413 before any work happens.
+	MaxBatch int
+
+	// BatchWorkers bounds the goroutines classifying one batch.
+	BatchWorkers int
+
+	// Logger receives one INFO record per request. nil disables
+	// request logging.
+	Logger *slog.Logger
+}
+
+// Server is an http.Handler serving the classification API.
+type Server struct {
+	models  map[string]*rcbt.Model
+	timeout time.Duration
+	maxB    int
+	workers int
+	logger  *slog.Logger
+	metrics *metrics
+	mux     *http.ServeMux
+}
+
+// New validates cfg and builds a Server.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Models) == 0 {
+		return nil, errors.New("serve: no models configured")
+	}
+	for name, m := range cfg.Models {
+		if name == "" {
+			return nil, errors.New("serve: empty model name")
+		}
+		if m == nil || m.Classifier == nil {
+			return nil, fmt.Errorf("serve: model %q has no classifier", name)
+		}
+	}
+	s := &Server{
+		models:  cfg.Models,
+		timeout: cfg.RequestTimeout,
+		maxB:    cfg.MaxBatch,
+		workers: cfg.BatchWorkers,
+		logger:  cfg.Logger,
+		metrics: newMetrics(),
+	}
+	if s.timeout == 0 {
+		s.timeout = DefaultRequestTimeout
+	}
+	if s.maxB == 0 {
+		s.maxB = DefaultMaxBatch
+	}
+	if s.workers <= 0 {
+		s.workers = DefaultBatchWorkers
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	s.mux.HandleFunc("POST /v1/classify/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// ModelNames returns the serving names in sorted order.
+func (s *Server) ModelNames() []string {
+	names := make([]string, 0, len(s.models))
+	for n := range s.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ServeHTTP applies the request deadline, in-flight accounting,
+// logging and metrics, then dispatches to the route handlers.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+
+	if s.timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+
+	elapsed := time.Since(start)
+	s.metrics.recordRequest(r.URL.Path, sw.code(), elapsed)
+	if s.logger != nil {
+		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.code()),
+			slog.Duration("elapsed", elapsed),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}
+
+// statusWriter captures the status code for logging and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) code() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}

@@ -1,0 +1,57 @@
+package topkrgs
+
+import "context"
+
+// This file carries the pre-redesign facade entry points for one
+// release. Each shim delegates to the context-first options API; the
+// vetsuite deprecatedapi analyzer keeps the repository itself off
+// these (see DESIGN.md §8).
+
+// Options tunes MineContext beyond the paper's defaults.
+//
+// Deprecated: use MineOptions with Mine. Note the Workers semantics
+// changed: MineOptions.Workers 0 runs sequentially and AllCores (-1)
+// uses every CPU, whereas Options.Workers 0 meant all cores.
+type Options struct {
+	// Workers sets the enumeration worker count: 0 uses all CPU cores,
+	// 1 runs sequentially, N > 1 mines first-level subtrees on N
+	// goroutines.
+	Workers int
+	// MaxNodes caps enumeration nodes (0 = unbounded).
+	MaxNodes int
+}
+
+// MineLegacy is the pre-redesign positional mining call
+// (Mine(d, cls, minsup, k) before the context-first API).
+//
+// Deprecated: use Mine(ctx, d, MineOptions{Class: cls, Minsup: minsup,
+// K: k}).
+func MineLegacy(d *Dataset, cls Label, minsup, k int) (*MiningResult, error) {
+	return Mine(context.Background(), d, MineOptions{Class: cls, Minsup: minsup, K: k})
+}
+
+// MineContext is the pre-redesign positional mining call with
+// cancellation and tuning.
+//
+// Deprecated: use Mine(ctx, d, MineOptions{...}); MineOptions carries
+// Class, Minsup and K alongside the tuning fields.
+func MineContext(ctx context.Context, d *Dataset, cls Label, minsup, k int, opts Options) (*MiningResult, error) {
+	workers := opts.Workers
+	if workers == 0 {
+		workers = AllCores
+	}
+	return Mine(ctx, d, MineOptions{
+		Class:    cls,
+		Minsup:   minsup,
+		K:        k,
+		Workers:  workers,
+		MaxNodes: opts.MaxNodes,
+	})
+}
+
+// TrainRCBTLegacy is the pre-redesign training call without a context.
+//
+// Deprecated: use TrainRCBT(ctx, d, cfg).
+func TrainRCBTLegacy(d *Dataset, cfg RCBTConfig) (*RCBT, error) {
+	return TrainRCBT(context.Background(), d, cfg)
+}

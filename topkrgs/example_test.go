@@ -1,6 +1,7 @@
 package topkrgs_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -10,17 +11,17 @@ import (
 // Example mines the paper's running example through the public facade
 // and classifies its rows with RCBT.
 func Example() {
+	ctx := context.Background()
 	d, _ := dataset.RunningExample()
 
-	res, err := topkrgs.Mine(d, 0, 2, 1)
+	res, err := topkrgs.Mine(ctx, d, topkrgs.MineOptions{Minsup: 2, K: 1})
 	if err != nil {
 		panic(err)
 	}
 	fmt.Println("top-1 group of r1:", res.PerRow[0][0].Render(d))
 
-	cfg := topkrgs.DefaultRCBTConfig()
-	cfg.K, cfg.NL, cfg.MinsupFrac = 2, 3, 0.5
-	clf, err := topkrgs.TrainRCBT(d, cfg)
+	cfg := topkrgs.RCBTConfig{K: 2, NL: 3, MinsupFrac: 0.5}
+	clf, err := topkrgs.TrainRCBT(ctx, d, cfg)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,146 @@
+package topkrgs_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/topkrgs"
+)
+
+func TestMineOptionSentinels(t *testing.T) {
+	ctx := context.Background()
+	d, _ := dataset.RunningExample()
+	for name, tc := range map[string]struct {
+		d    *topkrgs.Dataset
+		opts topkrgs.MineOptions
+		want error
+	}{
+		"nil dataset":       {nil, topkrgs.MineOptions{}, topkrgs.ErrNilDataset},
+		"negative k":        {d, topkrgs.MineOptions{K: -1}, topkrgs.ErrBadK},
+		"negative minsup":   {d, topkrgs.MineOptions{Minsup: -2}, topkrgs.ErrBadMinsup},
+		"class too large":   {d, topkrgs.MineOptions{Class: 9}, topkrgs.ErrBadClass},
+		"negative class":    {d, topkrgs.MineOptions{Class: -1}, topkrgs.ErrBadClass},
+		"negative workers":  {d, topkrgs.MineOptions{Workers: -2}, topkrgs.ErrBadOption},
+		"negative maxnodes": {d, topkrgs.MineOptions{MaxNodes: -1}, topkrgs.ErrBadOption},
+		"negative timeout":  {d, topkrgs.MineOptions{Timeout: -time.Second}, topkrgs.ErrBadOption},
+	} {
+		if _, err := topkrgs.Mine(ctx, tc.d, tc.opts); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", name, err, tc.want)
+		}
+	}
+}
+
+func TestMineZeroOptionsDefaults(t *testing.T) {
+	// MineOptions{} must mine class 0 with k=10 and minsup=ceil(0.7·n).
+	d, _ := dataset.RunningExample()
+	res, err := topkrgs.Mine(context.Background(), d, topkrgs.MineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Class 0 has 3 rows -> default minsup ceil(2.1) = 3... which no
+	// group reaches except those covering all three rows; the mine must
+	// still succeed and produce per-row lists.
+	if len(res.PerRow) == 0 {
+		t.Fatal("zero-options mine produced no per-row lists")
+	}
+}
+
+// TestMineDeterministicAcrossWorkers asserts the facade's parallel
+// path returns the same result as the sequential one.
+func TestMineDeterministicAcrossWorkers(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	seq, err := topkrgs.Mine(context.Background(), d,
+		topkrgs.MineOptions{Minsup: 2, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := topkrgs.Mine(context.Background(), d,
+		topkrgs.MineOptions{Minsup: 2, K: 2, Workers: topkrgs.AllCores})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.PerRow, par.PerRow) {
+		t.Fatal("parallel facade mine differs from sequential")
+	}
+}
+
+func TestMineCancellation(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := topkrgs.Mine(ctx, d, topkrgs.MineOptions{Minsup: 2, K: 1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Fatal("cancelled mine must not return a result")
+	}
+}
+
+func TestMineTimeout(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	_, err := topkrgs.Mine(context.Background(), d,
+		topkrgs.MineOptions{Minsup: 2, K: 1, Timeout: time.Nanosecond})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestTrainRCBTCancellation is the facade-path regression test for the
+// bug where caller context was ignored: a cancelled context must stop
+// training hard with ctx.Err().
+func TestTrainRCBTCancellation(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	clf, err := topkrgs.TrainRCBT(ctx, d, topkrgs.RCBTConfig{K: 2, NL: 3, MinsupFrac: 0.5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if clf != nil {
+		t.Fatal("cancelled training must not return a classifier")
+	}
+}
+
+func TestTrainRCBTZeroConfig(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	clf, err := topkrgs.TrainRCBT(context.Background(), d, topkrgs.RCBTConfig{})
+	if err != nil {
+		t.Fatalf("zero RCBTConfig must train the paper defaults: %v", err)
+	}
+	if clf.NumClassifiers() < 1 && clf.Default() < 0 {
+		t.Fatal("degenerate classifier")
+	}
+}
+
+// TestDeprecatedShims pins the one-release compatibility layer: the
+// legacy entry points must agree with the redesigned API.
+func TestDeprecatedShims(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	want, err := topkrgs.Mine(context.Background(), d,
+		topkrgs.MineOptions{Minsup: 2, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := topkrgs.MineLegacy(d, 0, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.PerRow, got.PerRow) {
+		t.Fatal("MineLegacy differs from Mine")
+	}
+	got, err = topkrgs.MineContext(context.Background(), d, 0, 2, 1, topkrgs.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.PerRow, got.PerRow) {
+		t.Fatal("MineContext differs from Mine")
+	}
+	if _, err := topkrgs.TrainRCBTLegacy(d, topkrgs.RCBTConfig{K: 1, NL: 1, MinsupFrac: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,6 +2,7 @@ package topkrgs_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -57,7 +58,8 @@ func TestFacadePipeline(t *testing.T) {
 
 	// Mine and inspect rule groups.
 	minsup := train.ClassCount(0) * 7 / 10
-	res, err := topkrgs.Mine(train, 0, minsup, 3)
+	res, err := topkrgs.Mine(context.Background(), train,
+		topkrgs.MineOptions{Minsup: minsup, K: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +77,7 @@ func TestFacadePipeline(t *testing.T) {
 	// RCBT train, persist, reload, predict.
 	cfg := topkrgs.DefaultRCBTConfig()
 	cfg.K, cfg.NL = 3, 5
-	clf, err := topkrgs.TrainRCBT(train, cfg)
+	clf, err := topkrgs.TrainRCBT(context.Background(), train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
