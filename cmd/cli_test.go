@@ -6,6 +6,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/exec"
@@ -285,6 +286,138 @@ func TestRcbtservedSmoke(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Fatal("server did not shut down within 10s")
+	}
+}
+
+// TestRcbtservedJobsShutdown starts rcbtserved with only a data
+// directory (no models), submits a deliberately slow mining job over
+// HTTP, and SIGTERMs the process mid-run. The process must exit
+// cleanly, and the job's journal in the data dir must record the
+// cancellation — the on-disk proof that shutdown canceled running
+// jobs and waited for their final writes.
+func TestRcbtservedJobsShutdown(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI integration in -short mode")
+	}
+	dataDir := filepath.Join(t.TempDir(), "data")
+
+	cmd := exec.Command(filepath.Join(binaries(t), "rcbtserved"),
+		"-data-dir", dataDir, "-addr", "127.0.0.1:0", "-job-workers", "1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() // vetsuite:allow uncheckederr -- best-effort cleanup
+
+	var base string
+	sc := bufio.NewScanner(stdout)
+	if sc.Scan() {
+		line := sc.Text()
+		const marker = "listening on "
+		i := strings.Index(line, marker)
+		if i < 0 {
+			t.Fatalf("unexpected startup line: %q", line)
+		}
+		base = "http://" + line[i+len(marker):]
+	} else {
+		t.Fatalf("no startup line: %v", sc.Err())
+	}
+
+	// Dense random rows make carpenter's minsup=1 closed-set tree far
+	// too large to finish within this test — the job is still running
+	// whenever we decide to pull the plug.
+	rng := rand.New(rand.NewSource(7))
+	rows := make([]map[string]any, 52)
+	for r := range rows {
+		items := []int{}
+		for it := 0; it < 72; it++ {
+			if rng.Float64() < 0.6 {
+				items = append(items, it)
+			}
+		}
+		rows[r] = map[string]any{"items": items, "label": r % 2}
+	}
+	payload, _ := json.Marshal(map[string]any{
+		"kind": "mine", "miner": "carpenter", "minsup": 1,
+		"data": map[string]any{
+			"classes":  []string{"a", "b"},
+			"numItems": 72,
+			"rows":     rows,
+		},
+	})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rec); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close() // vetsuite:allow uncheckederr -- test helper
+	if resp.StatusCode != http.StatusAccepted || rec.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, rec)
+	}
+
+	// Wait until the single worker has actually picked the job up.
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		resp, err := http.Get(base + "/v1/jobs/" + rec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&cur); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close() // vetsuite:allow uncheckederr -- test helper
+		if cur.State == "running" {
+			break
+		}
+		if cur.State != "queued" {
+			t.Fatalf("job state = %q before shutdown", cur.State)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited with: %v", err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("server did not shut down within 20s")
+	}
+
+	data, err := os.ReadFile(filepath.Join(dataDir, "jobs", rec.ID+".json"))
+	if err != nil {
+		t.Fatalf("journal not written: %v", err)
+	}
+	var final struct {
+		State    string `json:"state"`
+		ErrCause string `json:"errCause"`
+	}
+	if err := json.Unmarshal(data, &final); err != nil {
+		t.Fatalf("journal unreadable: %v\n%s", err, data)
+	}
+	if final.State != "canceled" || final.ErrCause != "canceled" {
+		t.Fatalf("journal after shutdown: state=%q cause=%q, want canceled/canceled",
+			final.State, final.ErrCause)
 	}
 }
 

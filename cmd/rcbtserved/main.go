@@ -1,21 +1,38 @@
-// Command rcbtserved serves trained RCBT classifiers over HTTP.
+// Command rcbtserved serves trained RCBT classifiers over HTTP and,
+// when given a data directory, runs mining/training jobs
+// asynchronously.
 //
 // Usage:
 //
-//	rcbtserved -model name=model.json [-model other=other.json] \
+//	rcbtserved [-model name=model.json ...] [-data-dir dir] \
+//	    [-dataset name=matrix.txt ...] \
+//	    [-job-workers 2] [-job-queue 64] [-job-timeout 0] \
 //	    [-addr :8344] [-timeout 5s] [-max-batch 1024] [-batch-workers 4]
 //
 // Each -model flag loads one JSON model envelope (written by
-// cmd/rcbt -save) under a serving name. The server exposes:
+// cmd/rcbt -save) under a serving name. At least one of -model or
+// -data-dir is required. The server exposes:
 //
 //	POST /v1/classify        {"model": "name", "values": [...]} or {"items": [...]}
 //	POST /v1/classify/batch  {"model": "name", "rows": [{"values": [...]}, ...]}
 //	GET  /v1/models          loaded models and their metadata
+//	POST   /v1/jobs          submit a mine/train job (needs -data-dir)
+//	GET    /v1/jobs[/{id}]   list jobs / fetch one
+//	DELETE /v1/jobs/{id}     cancel a job
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus text exposition
 //
-// The bound address is printed on startup (useful with -addr :0), and
-// SIGINT/SIGTERM trigger a graceful drain before exit.
+// With -data-dir, job records are journaled under <dir>/jobs and
+// trained models under <dir>/models; a restarted server lists prior
+// jobs and serves their models. Each -dataset flag registers a raw
+// expression matrix for job submissions to reference by name: it is
+// discretized at startup (entropy-MDL) and models trained on it bundle
+// the cuts, so they classify raw expression rows.
+//
+// The bound address is printed on startup (useful with -addr :0).
+// SIGINT/SIGTERM shut down in order: stop accepting job submissions
+// (503), drain in-flight HTTP requests, then cancel running jobs and
+// wait for their final journal writes.
 package main
 
 import (
@@ -23,6 +40,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log"
 	"log/slog"
 	"net"
 	"net/http"
@@ -32,39 +50,60 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/jobs"
 	"repro/internal/rcbt"
 	"repro/internal/serve"
+
+	// Register every miner so mine jobs can dispatch by name.
+	_ "repro/internal/carpenter"
+	_ "repro/internal/charm"
+	_ "repro/internal/closet"
+	_ "repro/internal/core"
+	_ "repro/internal/farmer"
+	_ "repro/internal/hybrid"
 )
 
-// modelFlags collects repeated -model name=path pairs.
-type modelFlags map[string]string
+// kvFlags collects repeated -model / -dataset name=path pairs.
+type kvFlags map[string]string
 
-func (m modelFlags) String() string { return fmt.Sprintf("%v", map[string]string(m)) }
+func (m kvFlags) String() string { return fmt.Sprintf("%v", map[string]string(m)) }
 
-func (m modelFlags) Set(v string) error {
+func (m kvFlags) Set(v string) error {
 	name, path, ok := strings.Cut(v, "=")
 	if !ok || name == "" || path == "" {
 		return fmt.Errorf("want name=path, got %q", v)
 	}
 	if _, dup := m[name]; dup {
-		return fmt.Errorf("duplicate model name %q", name)
+		return fmt.Errorf("duplicate name %q", name)
 	}
 	m[name] = path
 	return nil
 }
 
 func main() {
-	models := modelFlags{}
-	flag.Var(models, "model", "model to serve as name=path (repeatable, required)")
+	models := kvFlags{}
+	datasets := kvFlags{}
+	flag.Var(models, "model", "model to serve as name=path (repeatable)")
+	flag.Var(datasets, "dataset", "raw expression matrix jobs may reference as name=path (repeatable, needs -data-dir)")
 	addr := flag.String("addr", ":8344", "listen address (use :0 for an ephemeral port)")
 	timeout := flag.Duration("timeout", serve.DefaultRequestTimeout, "per-request deadline")
 	maxBatch := flag.Int("max-batch", serve.DefaultMaxBatch, "max rows per batch request")
 	batchWorkers := flag.Int("batch-workers", serve.DefaultBatchWorkers, "concurrent rows per batch request")
+	dataDir := flag.String("data-dir", "", "directory for job journals and trained models (enables /v1/jobs)")
+	jobWorkers := flag.Int("job-workers", 2, "concurrent jobs")
+	jobQueue := flag.Int("job-queue", 64, "max queued jobs")
+	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = unbounded)")
 	flag.Parse()
 
-	if len(models) == 0 {
+	if len(models) == 0 && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "rcbtserved: need at least one -model or a -data-dir")
 		flag.Usage()
 		os.Exit(2)
+	}
+	if len(datasets) > 0 && *dataDir == "" {
+		fail(errors.New("-dataset requires -data-dir (datasets exist for job submissions)"))
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 
@@ -80,8 +119,36 @@ func main() {
 			"discretizer", m.Discretizer != nil)
 	}
 
+	named := make(map[string]serve.NamedDataset, len(datasets))
+	for name, path := range datasets {
+		nd, err := loadDataset(path)
+		if err != nil {
+			fail(fmt.Errorf("dataset %s: %w", name, err))
+		}
+		named[name] = nd
+		logger.Info("dataset loaded", "name", name, "path", path,
+			"rows", nd.Dataset.NumRows(), "items", nd.Dataset.NumItems())
+	}
+
+	var mgr *jobs.Manager
+	if *dataDir != "" {
+		var err error
+		mgr, err = jobs.Open(jobs.Config{
+			DataDir:        *dataDir,
+			Workers:        *jobWorkers,
+			QueueDepth:     *jobQueue,
+			DefaultTimeout: *jobTimeout,
+			Logger:         log.New(os.Stderr, "jobs: ", log.LstdFlags),
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+
 	s, err := serve.New(serve.Config{
 		Models:         loaded,
+		Jobs:           mgr,
+		Datasets:       named,
 		RequestTimeout: *timeout,
 		MaxBatch:       *maxBatch,
 		BatchWorkers:   *batchWorkers,
@@ -98,7 +165,7 @@ func main() {
 	// Printed to stdout so scripts (and the CI smoke test) can scrape
 	// the bound address when -addr :0 picked an ephemeral port.
 	fmt.Printf("rcbtserved listening on %s\n", ln.Addr())
-	logger.Info("serving", "addr", ln.Addr().String(), "models", s.ModelNames())
+	logger.Info("serving", "addr", ln.Addr().String(), "models", s.ModelNames(), "jobs", mgr != nil)
 
 	srv := &http.Server{
 		Handler:           s,
@@ -117,6 +184,16 @@ func main() {
 		}
 	case <-ctx.Done():
 		logger.Info("shutting down")
+		// Shutdown order matters: refuse new job submissions first (503
+		// while draining), then cancel running jobs and wait for their
+		// final journal writes, then drain in-flight HTTP requests — so a
+		// client polling a canceled job can still read its terminal state.
+		if mgr != nil {
+			mgr.Drain()
+			if err := mgr.Close(); err != nil {
+				logger.Error("jobs close", "err", err)
+			}
+		}
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
@@ -132,6 +209,30 @@ func loadModel(path string) (*rcbt.Model, error) {
 	}
 	defer f.Close() // vetsuite:allow uncheckederr -- read-only file, nothing buffered to lose
 	return rcbt.LoadModel(f)
+}
+
+// loadDataset reads a raw expression matrix, fits the entropy-MDL
+// discretizer and transforms the matrix into the item dataset jobs
+// mine and train on.
+func loadDataset(path string) (serve.NamedDataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return serve.NamedDataset{}, err
+	}
+	defer f.Close() // vetsuite:allow uncheckederr -- read-only file, nothing buffered to lose
+	m, err := dataset.ReadMatrix(f)
+	if err != nil {
+		return serve.NamedDataset{}, err
+	}
+	dz, err := discretize.FitMatrix(m)
+	if err != nil {
+		return serve.NamedDataset{}, err
+	}
+	d, err := dz.Transform(m)
+	if err != nil {
+		return serve.NamedDataset{}, err
+	}
+	return serve.NamedDataset{Dataset: d, Discretizer: dz}, nil
 }
 
 func fail(err error) {

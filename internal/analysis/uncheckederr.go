@@ -8,10 +8,10 @@ import (
 
 // UncheckedErrAnalyzer flags dropped error returns in the packages that
 // talk to the outside world: cmd/ binaries, the internal/bench and
-// internal/report writers, and the internal/serve HTTP layer. A call
-// whose error result is discarded by an
+// internal/report writers, the internal/serve HTTP layer, and the
+// internal/jobs journal. A call whose error result is discarded by an
 // expression statement (or a deferred call) silently loses ENOSPC on
-// result files and truncated model saves.
+// result files, truncated model saves, and torn job journals.
 //
 // Deliberate best-effort calls remain expressible: assign to _
 // explicitly, or annotate // vetsuite:allow uncheckederr -- <reason>.
@@ -23,7 +23,7 @@ import (
 // *os.File is flagged.
 var UncheckedErrAnalyzer = &Analyzer{
 	Name: "uncheckederr",
-	Doc:  "flags dropped error returns in cmd/, internal/bench, internal/report and internal/serve",
+	Doc:  "flags dropped error returns in cmd/, internal/bench, internal/report, internal/serve and internal/jobs",
 	Run:  runUncheckedErr,
 }
 
@@ -33,7 +33,8 @@ func uncheckedErrScope(path string) bool {
 	return strings.Contains(path, "/cmd/") ||
 		strings.HasSuffix(path, "/internal/bench") ||
 		strings.HasSuffix(path, "/internal/report") ||
-		strings.HasSuffix(path, "/internal/serve")
+		strings.HasSuffix(path, "/internal/serve") ||
+		strings.HasSuffix(path, "/internal/jobs")
 }
 
 func runUncheckedErr(pass *Pass) {

@@ -32,6 +32,10 @@ type Config struct {
 	// Workers > 1 mines first-level subtrees on that many goroutines;
 	// output is identical to sequential output.
 	Workers int
+	// Progress, when non-nil, receives engine.ProgressSnapshots every
+	// ProgressEvery nodes (0 = engine.DefaultProgressEvery).
+	Progress      engine.ProgressFunc
+	ProgressEvery int
 }
 
 // Result is the output of Mine.
@@ -132,12 +136,14 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, 
 	}
 
 	eng := &engine.Enumerator{
-		NumRows:  n,
-		NumPos:   n, // unlabeled mining: every row counts toward support
-		ItemRows: itemRows,
-		Visitor:  v,
-		MaxNodes: cfg.MaxNodes,
-		Workers:  cfg.Workers,
+		NumRows:       n,
+		NumPos:        n, // unlabeled mining: every row counts toward support
+		ItemRows:      itemRows,
+		Visitor:       v,
+		MaxNodes:      cfg.MaxNodes,
+		Workers:       cfg.Workers,
+		Progress:      cfg.Progress,
+		ProgressEvery: cfg.ProgressEvery,
 	}
 	stats, err := eng.Run(ctx, reps)
 	if err != nil {

@@ -15,9 +15,11 @@ func (miner) Name() string { return "carpenter" }
 
 func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Result, engine.Stats, error) {
 	cfg := Config{
-		Minsup:   opts.Minsup,
-		MaxNodes: opts.MaxNodes,
-		Workers:  opts.EffectiveWorkers(),
+		Minsup:        opts.Minsup,
+		MaxNodes:      opts.MaxNodes,
+		Workers:       opts.EffectiveWorkers(),
+		Progress:      opts.Progress,
+		ProgressEvery: opts.ProgressEvery,
 	}
 	res, err := MineContext(ctx, d, cfg)
 	if err != nil {

@@ -51,6 +51,12 @@ type Config struct {
 	// output is deterministically identical to sequential mining. 0 or 1
 	// runs sequentially.
 	Workers int
+	// Progress, when non-nil, receives engine.ProgressSnapshots every
+	// ProgressEvery nodes (0 = engine.DefaultProgressEvery). The
+	// snapshot's MinconfFloor is the weakest per-row top-k confidence
+	// threshold — the dynamic minconf the search currently prunes with.
+	Progress      engine.ProgressFunc
+	ProgressEvery int
 }
 
 // DefaultConfig returns the paper's configuration with all
@@ -182,6 +188,8 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg
 		DisableBackward: !cfg.BackwardPruning,
 		MaxNodes:        cfg.MaxNodes,
 		Workers:         cfg.Workers,
+		Progress:        cfg.Progress,
+		ProgressEvery:   cfg.ProgressEvery,
 	}
 	stats, err := eng.Run(ctx, reps)
 	if err != nil {
@@ -391,6 +399,28 @@ func (v *topkVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
 		minC, minS = 0, 0 // no reachable positive rows: node is sterile anyway
 	}
 	return engine.Threshold{Conf: minC, Sup: minS}
+}
+
+// ProgressFloor implements engine.FloorReporter: the weakest per-row
+// top-k confidence threshold, i.e. the dynamic minconf floor pruning is
+// currently measured against. Parallel runs read the cross-worker
+// Floors board (mutex-guarded); sequential runs scan the lists on the
+// mining goroutine itself, so neither path races with list updates.
+func (v *topkVisitor) ProgressFloor() float64 {
+	if v.floors != nil {
+		return v.floors.MinConf()
+	}
+	minC := math.Inf(1)
+	for _, l := range v.lists {
+		c, _ := l.Threshold()
+		if c < minC {
+			minC = c
+		}
+	}
+	if math.IsInf(minC, 1) {
+		return 0
+	}
+	return minC
 }
 
 // maybeRaiseMinsup implements the second Section 4.1.1 optimization:

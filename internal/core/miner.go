@@ -17,6 +17,8 @@ func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) 
 	cfg := DefaultConfig(opts.Minsup, opts.K)
 	cfg.MaxNodes = opts.MaxNodes
 	cfg.Workers = opts.EffectiveWorkers()
+	cfg.Progress = opts.Progress
+	cfg.ProgressEvery = opts.ProgressEvery
 	if opts.DisableSeedInit {
 		cfg.SeedInit = false
 	}

@@ -63,5 +63,18 @@ func (b *Budget) Charge(n int) error {
 // Nodes returns the work units charged so far.
 func (b *Budget) Nodes() int { return int(b.nodes.Load()) }
 
+// Remaining returns the work units left before exhaustion, or -1 when
+// the budget has no node cap.
+func (b *Budget) Remaining() int64 {
+	if b.maxNodes <= 0 {
+		return -1
+	}
+	left := b.maxNodes - b.nodes.Load()
+	if left < 0 {
+		return 0
+	}
+	return left
+}
+
 // maxProcs is the Workers default.
 func maxProcs() int { return runtime.GOMAXPROCS(0) }

@@ -91,6 +91,14 @@ type Options struct {
 	// Variant selects a miner-specific engine implementation (farmer:
 	// "bitset", "prefix", "naive"; empty = the miner's default).
 	Variant string
+	// Progress, when non-nil, receives periodic ProgressSnapshots from
+	// the enumeration (see ProgressFunc). Honored by the miners built on
+	// the shared row-enumeration kernel (topk, carpenter, and farmer's
+	// bitset engine); other miners ignore it.
+	Progress ProgressFunc
+	// ProgressEvery is the node stride between snapshots
+	// (0 = DefaultProgressEvery).
+	ProgressEvery int
 	// MaxPartitionRows caps hybrid-miner partitions (0 = no cap).
 	MaxPartitionRows int
 

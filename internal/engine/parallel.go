@@ -96,6 +96,7 @@ func (e *Enumerator) runParallel(pv ParallelVisitor, root task) error {
 			budget:          e.budget,
 			scratch:         e.scratch.clone(),
 			rowItems:        e.rowItems,
+			prog:            e.prog, // shared: ticks and emissions are synchronized
 		}
 		sub.sp = sub
 		subs[w] = sub
@@ -169,6 +170,16 @@ func NewFloors(numPos int) *Floors {
 // caller's per-row floors is max-merged into the board, then the board
 // is copied back into the caller's slices. Both slices must have the
 // board's length.
+// MinConf returns the weakest confidence floor currently on the board
+// (0 when the board is empty or any row still has no floor). It is the
+// parallel run's observable dynamic-minconf value for progress
+// reporting.
+func (f *Floors) MinConf() float64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return minConfOf(f.conf)
+}
+
 func (f *Floors) Sync(conf []float64, sup []int) {
 	f.mu.Lock()
 	defer f.mu.Unlock()

@@ -1,0 +1,135 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestProgressSnapshots checks the sampling contract on the sequential
+// kernel: snapshots arrive, node counts are non-decreasing, and the
+// final snapshot reports the run's exact totals.
+func TestProgressSnapshots(t *testing.T) {
+	var snaps []ProgressSnapshot
+	v := &minsupVisitor{minsup: 2}
+	eng, items := synthEnumerator(v, 40, 20, 24, 0)
+	eng.Progress = func(s ProgressSnapshot) { snaps = append(snaps, s) }
+	eng.ProgressEvery = 64
+
+	stats, err := eng.Run(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("got %d snapshots over %d nodes with stride 64, want several", len(snaps), stats.Nodes)
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Nodes < snaps[i-1].Nodes {
+			t.Fatalf("snapshot %d: nodes went backwards (%d -> %d)", i, snaps[i-1].Nodes, snaps[i].Nodes)
+		}
+		if snaps[i].Groups < snaps[i-1].Groups {
+			t.Fatalf("snapshot %d: groups went backwards", i)
+		}
+	}
+	final := snaps[len(snaps)-1]
+	if final.Nodes != int64(stats.Nodes) {
+		t.Errorf("final snapshot nodes = %d, stats = %d", final.Nodes, stats.Nodes)
+	}
+	if final.Groups != int64(stats.Groups) {
+		t.Errorf("final snapshot groups = %d, stats = %d", final.Groups, stats.Groups)
+	}
+	if final.MaxDepth != stats.MaxDepth {
+		t.Errorf("final snapshot depth = %d, stats = %d", final.MaxDepth, stats.MaxDepth)
+	}
+	if final.BudgetRemaining != -1 {
+		t.Errorf("unbounded run: BudgetRemaining = %d, want -1", final.BudgetRemaining)
+	}
+}
+
+// TestProgressBudgetRemaining checks the countdown against MaxNodes.
+func TestProgressBudgetRemaining(t *testing.T) {
+	var snaps []ProgressSnapshot
+	v := &minsupVisitor{minsup: 2}
+	eng, items := synthEnumerator(v, 40, 20, 24, 0)
+	eng.MaxNodes = 500
+	eng.Progress = func(s ProgressSnapshot) { snaps = append(snaps, s) }
+	eng.ProgressEvery = 64
+
+	stats, err := eng.Run(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Aborted {
+		t.Fatalf("budget of 500 did not abort a %d-node tree", stats.Nodes)
+	}
+	for i, s := range snaps {
+		if s.BudgetRemaining < 0 {
+			t.Fatalf("snapshot %d: BudgetRemaining = %d on a bounded run", i, s.BudgetRemaining)
+		}
+		if want := int64(500) - s.Nodes; s.BudgetRemaining != want && s.BudgetRemaining != 0 {
+			t.Fatalf("snapshot %d: remaining %d for %d nodes of 500", i, s.BudgetRemaining, s.Nodes)
+		}
+	}
+}
+
+// TestProgressParallel drives the shared sampler from four workers; run
+// under -race this is the synchronization check, and in any mode the
+// snapshots must stay monotone because ticks and emissions are
+// serialized through the sampler.
+func TestProgressParallel(t *testing.T) {
+	var mu sync.Mutex
+	var snaps []ProgressSnapshot
+	v := &parMinsupVisitor{minsupVisitor{minsup: 2}}
+	eng, items := synthEnumerator(v, 40, 20, 24, 4)
+	eng.Progress = func(s ProgressSnapshot) {
+		mu.Lock()
+		snaps = append(snaps, s)
+		mu.Unlock()
+	}
+	eng.ProgressEvery = 32
+
+	stats, err := eng.Run(context.Background(), items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots from parallel run")
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Nodes < snaps[i-1].Nodes {
+			t.Fatalf("snapshot %d: nodes went backwards (%d -> %d)", i, snaps[i-1].Nodes, snaps[i].Nodes)
+		}
+	}
+	if final := snaps[len(snaps)-1]; final.Nodes != int64(stats.Nodes) {
+		t.Errorf("final snapshot nodes = %d, stats = %d", final.Nodes, stats.Nodes)
+	}
+}
+
+// TestProgressSteadyStateAllocs extends the zero-allocation pin to runs
+// WITH a progress hook: sampling must stay arena-free, and a hook that
+// only stores the snapshot adds nothing either.
+func TestProgressSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; the pin only holds in normal builds")
+	}
+	var last ProgressSnapshot
+	v := &minsupVisitor{minsup: 2}
+	eng, items := synthEnumerator(v, 40, 20, 24, 0)
+	eng.Progress = func(s ProgressSnapshot) { last = s }
+	eng.ProgressEvery = 64
+	ctx := context.Background()
+	if _, err := eng.Run(ctx, items); err != nil { // warm-up: arena + sampler
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := eng.Run(ctx, items); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Run with progress hook: %.1f allocs, want exactly 0", allocs)
+	}
+	if last.Nodes == 0 {
+		t.Error("hook never ran")
+	}
+}

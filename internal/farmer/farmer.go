@@ -74,6 +74,11 @@ type Config struct {
 	// (bitset engine only; the table engines are sequential). Output is
 	// identical to sequential output.
 	Workers int
+	// Progress, when non-nil, receives engine.ProgressSnapshots from the
+	// bitset engine every ProgressEvery nodes (the table engines do not
+	// report progress).
+	Progress      engine.ProgressFunc
+	ProgressEvery int
 }
 
 // Result holds the discovered rule groups.
@@ -312,12 +317,14 @@ func mineBitset(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg 
 		totalPos: numPos, totalNeg: d.NumRows() - numPos, cls: cls,
 	}
 	eng := &engine.Enumerator{
-		NumRows:  d.NumRows(),
-		NumPos:   numPos,
-		ItemRows: itemRows,
-		Visitor:  v,
-		MaxNodes: cfg.MaxNodes,
-		Workers:  cfg.Workers,
+		NumRows:       d.NumRows(),
+		NumPos:        numPos,
+		ItemRows:      itemRows,
+		Visitor:       v,
+		MaxNodes:      cfg.MaxNodes,
+		Workers:       cfg.Workers,
+		Progress:      cfg.Progress,
+		ProgressEvery: cfg.ProgressEvery,
 	}
 	stats, err := eng.Run(ctx, freqItems)
 	if err != nil {

@@ -17,11 +17,13 @@ func (miner) Name() string { return "farmer" }
 
 func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Result, engine.Stats, error) {
 	cfg := Config{
-		Minsup:   opts.Minsup,
-		Minconf:  opts.Minconf,
-		MinChi:   opts.MinChi,
-		MaxNodes: opts.MaxNodes,
-		Workers:  opts.EffectiveWorkers(),
+		Minsup:        opts.Minsup,
+		Minconf:       opts.Minconf,
+		MinChi:        opts.MinChi,
+		MaxNodes:      opts.MaxNodes,
+		Workers:       opts.EffectiveWorkers(),
+		Progress:      opts.Progress,
+		ProgressEvery: opts.ProgressEvery,
 	}
 	switch opts.Variant {
 	case "", "bitset":

@@ -26,6 +26,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/rules"
 )
 
@@ -42,6 +43,17 @@ type Config struct {
 	// Workers is forwarded to the per-partition core runs (0 or 1 =
 	// sequential).
 	Workers int
+	// MaxNodes, when positive, caps the cumulative enumeration nodes
+	// across all partitions (and the residual pass). Once the budget is
+	// spent, remaining partitions are skipped and Result.Stats.Aborted
+	// is set; the groups merged so far are returned (possibly
+	// incomplete).
+	MaxNodes int
+	// Progress, when non-nil, receives engine.ProgressSnapshots with
+	// node and group counts cumulative across partitions, every
+	// ProgressEvery nodes (0 = engine.DefaultProgressEvery).
+	Progress      engine.ProgressFunc
+	ProgressEvery int
 }
 
 // Result mirrors core.Result.
@@ -49,6 +61,65 @@ type Result struct {
 	PerRow     map[int][]*rules.Group
 	Groups     []*rules.Group
 	Partitions int // partitions mined in the column phase
+	// Stats aggregates the per-partition enumeration statistics; Nodes
+	// is the cumulative count charged against Config.MaxNodes, and
+	// Aborted reports a budget cutoff.
+	Stats engine.Stats
+}
+
+// runState threads the cumulative node budget and progress offsets
+// through the sequential per-partition core runs.
+type runState struct {
+	cfg   Config
+	stats engine.Stats
+}
+
+// coreConfig maps the hybrid configuration onto one core run: the run
+// is charged whatever budget is left, and its progress snapshots are
+// offset so the caller's hook sees one monotone counter for the whole
+// hybrid run.
+func (s *runState) coreConfig() core.Config {
+	c := core.DefaultConfig(s.cfg.Minsup, s.cfg.K)
+	c.Workers = s.cfg.Workers
+	if s.cfg.MaxNodes > 0 {
+		c.MaxNodes = s.cfg.MaxNodes - s.stats.Nodes
+	}
+	if prog := s.cfg.Progress; prog != nil {
+		baseNodes := int64(s.stats.Nodes)
+		baseGroups := int64(s.stats.Groups)
+		total := int64(s.cfg.MaxNodes)
+		c.Progress = func(p engine.ProgressSnapshot) {
+			p.Nodes += baseNodes
+			p.Groups += baseGroups
+			if total > 0 {
+				p.BudgetRemaining = max(total-p.Nodes, 0)
+			}
+			prog(p)
+		}
+		c.ProgressEvery = s.cfg.ProgressEvery
+	}
+	return c
+}
+
+// absorb folds one core run's statistics into the cumulative totals.
+func (s *runState) absorb(st engine.Stats) {
+	s.stats.Nodes += st.Nodes
+	s.stats.BackwardPruned += st.BackwardPruned
+	s.stats.PrunedBeforeScan += st.PrunedBeforeScan
+	s.stats.PrunedAfterScan += st.PrunedAfterScan
+	s.stats.Groups += st.Groups
+	s.stats.MaxDepth = max(s.stats.MaxDepth, st.MaxDepth)
+	s.stats.Workers = max(s.stats.Workers, st.Workers)
+	if st.Aborted {
+		s.stats.Aborted = true
+	}
+}
+
+// exhausted reports whether the cumulative budget is spent. Callers
+// check it before mining more work; finishing the final partition at
+// exactly the cap is not an abort.
+func (s *runState) exhausted() bool {
+	return s.cfg.MaxNodes > 0 && (s.stats.Aborted || s.stats.Nodes >= s.cfg.MaxNodes)
 }
 
 // Mine discovers the top-k covering rule groups of class cls by
@@ -94,6 +165,7 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg
 
 	// Column phase: one partition per frequent item, deduplicated by
 	// support set (identical partitions yield identical groups).
+	st := &runState{cfg: cfg}
 	partitionKeys := map[string]bool{}
 	for i := 0; i < d.NumItems(); i++ {
 		rows := d.ItemRows(i)
@@ -107,9 +179,15 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg
 		if partitionKeys[key] {
 			continue
 		}
+		if st.exhausted() {
+			// Budget spent with this partition (at least) still unmined:
+			// the merged lists are a partial answer.
+			st.stats.Aborted = true
+			break
+		}
 		partitionKeys[key] = true
 		res.Partitions++
-		if err := minePartition(ctx, d, cls, cfg, rows.Indices(), lists, seen); err != nil {
+		if err := minePartition(ctx, d, cls, st, rows.Indices(), lists, seen); err != nil {
 			return nil, err
 		}
 	}
@@ -117,16 +195,20 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg
 	// Residual pass for items whose partitions exceeded the cap: mine
 	// the whole table restricted to those wide items (few in practice —
 	// near-universal items produce shallow enumerations).
-	if cfg.MaxPartitionRows > 0 {
+	if cfg.MaxPartitionRows > 0 && !st.stats.Aborted {
 		wide, _ := d.FilterItems(func(i int) bool {
 			rows := d.ItemRows(i)
 			return rows.IntersectionCount(pos) >= cfg.Minsup && rows.Count() > cfg.MaxPartitionRows
 		})
-		if wide.NumItems() > 0 {
-			sub, err := core.MineContext(ctx, wide, cls, coreConfig(cfg))
+		switch {
+		case wide.NumItems() > 0 && st.exhausted():
+			st.stats.Aborted = true
+		case wide.NumItems() > 0:
+			sub, err := core.MineContext(ctx, wide, cls, st.coreConfig())
 			if err != nil {
 				return nil, err
 			}
+			st.absorb(sub.Stats)
 			// Item ids in `wide` are renumbered; remap antecedents back.
 			_, newToOld := d.FilterItems(func(i int) bool {
 				rows := d.ItemRows(i)
@@ -161,24 +243,19 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg
 		}
 	}
 	rules.SortGroups(res.Groups)
+	res.Stats = st.stats
 	return res, nil
-}
-
-// coreConfig maps the hybrid configuration onto a core run.
-func coreConfig(cfg Config) core.Config {
-	c := core.DefaultConfig(cfg.Minsup, cfg.K)
-	c.Workers = cfg.Workers
-	return c
 }
 
 // minePartition runs the row-enumeration core on the sub-dataset of the
 // given rows and merges the discovered groups into the global lists.
-func minePartition(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg Config, rows []int, lists map[int]*rules.TopKList, seen map[string]bool) error {
+func minePartition(ctx context.Context, d *dataset.Dataset, cls dataset.Label, st *runState, rows []int, lists map[int]*rules.TopKList, seen map[string]bool) error {
 	sub := d.Subset(rows)
-	res, err := core.MineContext(ctx, sub, cls, coreConfig(cfg))
+	res, err := core.MineContext(ctx, sub, cls, st.coreConfig())
 	if err != nil {
 		return err
 	}
+	st.absorb(res.Stats)
 	for _, g := range res.Groups {
 		// Remap the support set to global row ids.
 		global := bitset.New(d.NumRows())

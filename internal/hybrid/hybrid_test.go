@@ -1,12 +1,14 @@
 package hybrid
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 )
 
 func randomDataset(r *rand.Rand) *dataset.Dataset {
@@ -150,6 +152,98 @@ func TestManyRowsScenario(t *testing.T) {
 				t.Fatalf("row %d rank %d mismatch", r0, i)
 			}
 		}
+	}
+}
+
+// TestMaxNodesCumulative pins the budget semantics: the cap applies to
+// the node total across partitions, an exhausted budget yields a
+// partial result with Stats.Aborted, and a generous budget changes
+// nothing.
+func TestMaxNodesCumulative(t *testing.T) {
+	d, _ := dataset.RunningExample()
+
+	full, err := Mine(d, 0, Config{K: 2, Minsup: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.Aborted {
+		t.Fatal("unbounded run reported aborted")
+	}
+	if full.Stats.Nodes == 0 {
+		t.Fatal("unbounded run reported zero nodes")
+	}
+
+	// A budget at least as large as the actual work is a no-op.
+	capped, err := Mine(d, 0, Config{K: 2, Minsup: 2, MaxNodes: full.Stats.Nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.Stats.Aborted {
+		t.Fatalf("budget %d >= actual work %d must not abort", full.Stats.Nodes, capped.Stats.Nodes)
+	}
+	if capped.Stats.Nodes != full.Stats.Nodes || len(capped.Groups) != len(full.Groups) {
+		t.Fatalf("exact budget changed the result: %d/%d nodes, %d/%d groups",
+			capped.Stats.Nodes, full.Stats.Nodes, len(capped.Groups), len(full.Groups))
+	}
+
+	// A budget of one node cannot cover all partitions.
+	aborted, err := Mine(d, 0, Config{K: 2, Minsup: 2, MaxNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aborted.Stats.Aborted {
+		t.Fatal("one-node budget did not abort")
+	}
+	if aborted.Stats.Nodes > full.Stats.Nodes {
+		t.Fatalf("aborted run did more work (%d) than the full run (%d)",
+			aborted.Stats.Nodes, full.Stats.Nodes)
+	}
+
+	// Cumulative progress snapshots must be monotone across partitions.
+	var nodesSeen []int64
+	_, err = Mine(d, 0, Config{K: 2, Minsup: 2, ProgressEvery: 1,
+		Progress: func(p engine.ProgressSnapshot) { nodesSeen = append(nodesSeen, p.Nodes) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodesSeen) == 0 {
+		t.Fatal("no progress snapshots")
+	}
+	for i := 1; i < len(nodesSeen); i++ {
+		if nodesSeen[i] < nodesSeen[i-1] {
+			t.Fatalf("snapshot nodes regressed: %v", nodesSeen)
+		}
+	}
+	if got := nodesSeen[len(nodesSeen)-1]; got != int64(full.Stats.Nodes) {
+		t.Fatalf("final snapshot nodes = %d, want %d", got, full.Stats.Nodes)
+	}
+}
+
+// TestMinerForwardsBudget covers the engine adapter: opts.MaxNodes
+// reaches the hybrid config and stats.Aborted reaches the caller.
+func TestMinerForwardsBudget(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	m, ok := engine.Lookup("hybrid")
+	if !ok {
+		t.Fatal("hybrid miner not registered")
+	}
+	_, stats, err := m.Mine(context.Background(), d, engine.Options{
+		Class: 0, K: 2, Minsup: 2, Workers: 1, MaxNodes: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stats.Aborted {
+		t.Fatal("adapter dropped the abort flag")
+	}
+	_, stats, err = m.Mine(context.Background(), d, engine.Options{
+		Class: 0, K: 2, Minsup: 2, Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Aborted || stats.Nodes == 0 {
+		t.Fatalf("unbounded adapter run: aborted=%v nodes=%d", stats.Aborted, stats.Nodes)
 	}
 }
 

@@ -19,16 +19,24 @@ func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) 
 		Minsup:           opts.Minsup,
 		MaxPartitionRows: opts.MaxPartitionRows,
 		Workers:          opts.EffectiveWorkers(),
+		MaxNodes:         opts.MaxNodes,
+		Progress:         opts.Progress,
+		ProgressEvery:    opts.ProgressEvery,
 	}
 	res, err := MineContext(ctx, d, opts.Class, cfg)
 	if err != nil {
 		return nil, engine.Stats{}, err
 	}
+	stats := res.Stats
+	stats.Groups = len(res.Groups)
+	if stats.Workers < 1 {
+		stats.Workers = 1
+	}
 	return &engine.Result{
 		PerRow:     res.PerRow,
 		Groups:     res.Groups,
 		Partitions: res.Partitions,
-	}, engine.Stats{Groups: len(res.Groups), Workers: 1}, nil
+	}, stats, nil
 }
 
 func init() { engine.Register(miner{}) }

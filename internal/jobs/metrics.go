@@ -1,0 +1,43 @@
+package jobs
+
+// DurationBuckets are the job-duration histogram upper bounds in
+// seconds. Jobs span milliseconds (toy datasets) to many minutes
+// (real expression matrices), so the ladder is wider and coarser than
+// the serving layer's request-latency buckets.
+var DurationBuckets = []float64{0.005, 0.025, 0.1, 0.5, 1, 5, 15, 60, 300, 1800}
+
+// Metrics is a point-in-time snapshot of the manager's counters,
+// shaped for a Prometheus text rendering: a queue-depth gauge, a
+// running gauge, terminal-state counters, and a cumulative job
+// duration histogram over DurationBuckets.
+type Metrics struct {
+	QueueDepth int
+	Running    int
+	// ByState counts terminal transitions (succeeded/failed/canceled),
+	// including records recovered from a previous process's journal.
+	ByState map[string]int64
+	// DurationCount / DurationSum / DurationBucket mirror a Prometheus
+	// histogram; DurationBucket[i] counts jobs that ran in at most
+	// DurationBuckets[i] seconds (cumulative).
+	DurationCount  int64
+	DurationSum    float64
+	DurationBucket []int64
+}
+
+// Metrics returns a consistent snapshot of the job counters.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := Metrics{
+		QueueDepth:     m.queued,
+		Running:        m.running,
+		ByState:        make(map[string]int64, len(m.byState)),
+		DurationCount:  m.durCount,
+		DurationSum:    m.durSum,
+		DurationBucket: append([]int64(nil), m.durBucket...),
+	}
+	for s, n := range m.byState {
+		out.ByState[s] = n
+	}
+	return out
+}

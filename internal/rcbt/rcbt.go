@@ -15,6 +15,7 @@ import (
 	"repro/internal/cba"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/lowerbound"
 	"repro/internal/rules"
 )
@@ -47,6 +48,11 @@ type Config struct {
 	// with any deadline already on the caller's context; whichever
 	// expires first aborts training with context.DeadlineExceeded.
 	Timeout time.Duration
+	// Progress, when non-nil, receives engine.ProgressSnapshots from the
+	// per-class mining runs (the expensive half of training). Snapshots
+	// restart from zero for each mined class.
+	Progress      engine.ProgressFunc
+	ProgressEvery int
 }
 
 // DefaultConfig mirrors the paper's RCBT setup (k=10, nl=20,
@@ -160,6 +166,8 @@ func TrainContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Classif
 		mc := core.DefaultConfig(minsup, cfg.K)
 		mc.Workers = cfg.Workers
 		mc.MaxNodes = cfg.MaxNodes
+		mc.Progress = cfg.Progress
+		mc.ProgressEvery = cfg.ProgressEvery
 		res, err := core.MineContext(ctx, d, label, mc)
 		if err != nil {
 			if ctx.Err() != nil {

@@ -162,9 +162,18 @@ feed:
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	infos := make([]ModelInfo, 0, len(s.models))
+	s.mu.RLock()
+	models := make(map[string]*rcbt.Model, len(s.models))
+	for name, m := range s.models {
+		models[name] = m
+	}
+	s.mu.RUnlock()
+	infos := make([]ModelInfo, 0, len(models))
 	for _, name := range s.ModelNames() {
-		m := s.models[name]
+		m, ok := models[name]
+		if !ok { // registered between the snapshot and ModelNames
+			continue
+		}
 		info := ModelInfo{
 			Name:           name,
 			Classes:        m.ClassNames,
@@ -190,6 +199,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeProm(w)
+	if s.jobs != nil {
+		writeJobMetrics(w, s.jobs.Metrics())
+	}
 }
 
 // predictRow applies the one-of values/items rule and honours the
@@ -219,6 +231,8 @@ type shapeError string
 func (e shapeError) Error() string { return string(e) }
 
 func (s *Server) lookupModel(w http.ResponseWriter, name string) (*rcbt.Model, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	if name == "" {
 		// A single-model server does not need the name spelled out.
 		if len(s.models) == 1 {

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/jobs"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request latency
@@ -107,6 +109,40 @@ func (m *metrics) writeProm(w io.Writer) {
 	fmt.Fprintln(w, "# HELP rcbtserved_in_flight Requests currently being served.")
 	fmt.Fprintln(w, "# TYPE rcbtserved_in_flight gauge")
 	fmt.Fprintf(w, "rcbtserved_in_flight %d\n", m.inFlight.Load())
+}
+
+// writeJobMetrics renders the job manager's counters after the request
+// metrics: queue and running gauges, terminal-state counters, and the
+// job duration histogram (bucket counts arrive already cumulative).
+func writeJobMetrics(w io.Writer, jm jobs.Metrics) {
+	fmt.Fprintln(w, "# HELP rcbtserved_jobs_queue_depth Jobs waiting for a worker.")
+	fmt.Fprintln(w, "# TYPE rcbtserved_jobs_queue_depth gauge")
+	fmt.Fprintf(w, "rcbtserved_jobs_queue_depth %d\n", jm.QueueDepth)
+
+	fmt.Fprintln(w, "# HELP rcbtserved_jobs_running Jobs currently executing.")
+	fmt.Fprintln(w, "# TYPE rcbtserved_jobs_running gauge")
+	fmt.Fprintf(w, "rcbtserved_jobs_running %d\n", jm.Running)
+
+	fmt.Fprintln(w, "# HELP rcbtserved_jobs_total Finished jobs by terminal state.")
+	fmt.Fprintln(w, "# TYPE rcbtserved_jobs_total counter")
+	states := make([]string, 0, len(jm.ByState))
+	for st := range jm.ByState {
+		states = append(states, st)
+	}
+	sort.Strings(states)
+	for _, st := range states {
+		fmt.Fprintf(w, "rcbtserved_jobs_total{state=%q} %d\n", st, jm.ByState[st])
+	}
+
+	fmt.Fprintln(w, "# HELP rcbtserved_job_duration_seconds Wall-clock run time of finished jobs.")
+	fmt.Fprintln(w, "# TYPE rcbtserved_job_duration_seconds histogram")
+	for i, ub := range jobs.DurationBuckets {
+		fmt.Fprintf(w, "rcbtserved_job_duration_seconds_bucket{le=%q} %d\n",
+			formatFloat(ub), jm.DurationBucket[i])
+	}
+	fmt.Fprintf(w, "rcbtserved_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", jm.DurationCount)
+	fmt.Fprintf(w, "rcbtserved_job_duration_seconds_sum %s\n", formatFloat(jm.DurationSum))
+	fmt.Fprintf(w, "rcbtserved_job_duration_seconds_count %d\n", jm.DurationCount)
 }
 
 func sortedKeys(m map[string]uint64) []string {

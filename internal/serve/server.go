@@ -8,6 +8,9 @@
 //	POST /v1/classify        classify one row of a named model
 //	POST /v1/classify/batch  classify up to Config.MaxBatch rows
 //	GET  /v1/models          list loaded models and their metadata
+//	POST   /v1/jobs          submit a mine/train job (with Config.Jobs)
+//	GET    /v1/jobs          list jobs, GET /v1/jobs/{id} one job
+//	DELETE /v1/jobs/{id}     cancel a job
 //	GET  /healthz            liveness probe
 //	GET  /metrics            Prometheus text exposition
 //
@@ -21,9 +24,14 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"os"
 	"sort"
+	"sync"
 	"time"
 
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/jobs"
 	"repro/internal/rcbt"
 )
 
@@ -34,12 +42,30 @@ const (
 	DefaultBatchWorkers   = 4
 )
 
+// NamedDataset is a training dataset registered under a name, so job
+// submissions can reference it instead of inlining rows. The
+// discretizer, when present, is bundled into models trained on it.
+type NamedDataset struct {
+	Dataset     *dataset.Dataset
+	Discretizer *discretize.Discretizer
+}
+
 // Config configures a Server. The zero value of every field means
-// "use the default"; Models is the only required field.
+// "use the default"; one of Models or Jobs is required.
 type Config struct {
 	// Models maps a serving name (used in request bodies and URLs)
 	// to a loaded model.
 	Models map[string]*rcbt.Model
+
+	// Jobs, when non-nil, enables the /v1/jobs endpoints on this
+	// manager. New reloads models persisted by the manager's earlier
+	// succeeded train jobs and hot-registers models from new ones; a
+	// server with a Jobs manager may start with zero Models.
+	Jobs *jobs.Manager
+
+	// Datasets are the named datasets job submissions may train or
+	// mine on ({"dataset": "<name>"} in the request body).
+	Datasets map[string]NamedDataset
 
 	// RequestTimeout bounds the handling of a single request. When it
 	// expires mid-request the response is 504 Gateway Timeout.
@@ -59,35 +85,40 @@ type Config struct {
 
 // Server is an http.Handler serving the classification API.
 type Server struct {
-	models  map[string]*rcbt.Model
-	timeout time.Duration
-	maxB    int
-	workers int
-	logger  *slog.Logger
-	metrics *metrics
-	mux     *http.ServeMux
+	mu       sync.RWMutex // guards models: train jobs register into a live server
+	models   map[string]*rcbt.Model
+	jobs     *jobs.Manager
+	datasets map[string]NamedDataset
+	timeout  time.Duration
+	maxB     int
+	workers  int
+	logger   *slog.Logger
+	metrics  *metrics
+	mux      *http.ServeMux
 }
 
-// New validates cfg and builds a Server.
+// New validates cfg and builds a Server. With a Jobs manager it also
+// reloads every model persisted by the manager's earlier succeeded
+// train jobs (newest submission wins a name) and hooks new train jobs
+// to hot-register their models.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Models) == 0 {
-		return nil, errors.New("serve: no models configured")
-	}
-	for name, m := range cfg.Models {
-		if name == "" {
-			return nil, errors.New("serve: empty model name")
-		}
-		if m == nil || m.Classifier == nil {
-			return nil, fmt.Errorf("serve: model %q has no classifier", name)
-		}
+	if len(cfg.Models) == 0 && cfg.Jobs == nil {
+		return nil, errors.New("serve: no models configured and no jobs manager")
 	}
 	s := &Server{
-		models:  cfg.Models,
-		timeout: cfg.RequestTimeout,
-		maxB:    cfg.MaxBatch,
-		workers: cfg.BatchWorkers,
-		logger:  cfg.Logger,
-		metrics: newMetrics(),
+		models:   make(map[string]*rcbt.Model, len(cfg.Models)),
+		jobs:     cfg.Jobs,
+		datasets: cfg.Datasets,
+		timeout:  cfg.RequestTimeout,
+		maxB:     cfg.MaxBatch,
+		workers:  cfg.BatchWorkers,
+		logger:   cfg.Logger,
+		metrics:  newMetrics(),
+	}
+	for name, m := range cfg.Models {
+		if err := s.RegisterModel(name, m); err != nil {
+			return nil, err
+		}
 	}
 	if s.timeout == 0 {
 		s.timeout = DefaultRequestTimeout
@@ -104,15 +135,73 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.jobs != nil {
+		s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+		s.reloadJobModels()
+		s.jobs.SetOnModel(func(name string, m *rcbt.Model) {
+			if err := s.RegisterModel(name, m); err != nil && s.logger != nil {
+				s.logger.Error("hot-register model", "name", name, "err", err)
+			}
+		})
+	}
 	return s, nil
+}
+
+// RegisterModel atomically adds or replaces a served model; requests
+// already classifying against a replaced model finish on the old one.
+func (s *Server) RegisterModel(name string, m *rcbt.Model) error {
+	if name == "" {
+		return errors.New("serve: empty model name")
+	}
+	if m == nil || m.Classifier == nil {
+		return fmt.Errorf("serve: model %q has no classifier", name)
+	}
+	s.mu.Lock()
+	s.models[name] = m
+	s.mu.Unlock()
+	return nil
+}
+
+// reloadJobModels restores the models persisted by succeeded train
+// jobs from previous processes on the same data dir. Jobs() lists in
+// submission order, so the newest job holding a name wins. A missing
+// or corrupt model file skips that record rather than failing startup:
+// the journal survives disk mishaps the models did not.
+func (s *Server) reloadJobModels() {
+	for _, rec := range s.jobs.Jobs() {
+		if rec.State != jobs.StateSucceeded || rec.ModelPath == "" {
+			continue
+		}
+		m, err := loadModelFile(rec.ModelPath)
+		if err == nil {
+			err = s.RegisterModel(rec.ModelName, m)
+		}
+		if err != nil && s.logger != nil {
+			s.logger.Error("reload job model", "job", rec.ID, "path", rec.ModelPath, "err", err)
+		}
+	}
+}
+
+func loadModelFile(path string) (*rcbt.Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // vetsuite:allow uncheckederr -- read-only file, nothing buffered to lose
+	return rcbt.LoadModel(f)
 }
 
 // ModelNames returns the serving names in sorted order.
 func (s *Server) ModelNames() []string {
+	s.mu.RLock()
 	names := make([]string, 0, len(s.models))
 	for n := range s.models {
 		names = append(names, n)
 	}
+	s.mu.RUnlock()
 	sort.Strings(names)
 	return names
 }

@@ -27,6 +27,7 @@ func TestMineOptionSentinels(t *testing.T) {
 		"negative workers":  {d, topkrgs.MineOptions{Workers: -2}, topkrgs.ErrBadOption},
 		"negative maxnodes": {d, topkrgs.MineOptions{MaxNodes: -1}, topkrgs.ErrBadOption},
 		"negative timeout":  {d, topkrgs.MineOptions{Timeout: -time.Second}, topkrgs.ErrBadOption},
+		"negative stride":   {d, topkrgs.MineOptions{ProgressEvery: -1}, topkrgs.ErrBadOption},
 	} {
 		if _, err := topkrgs.Mine(ctx, tc.d, tc.opts); !errors.Is(err, tc.want) {
 			t.Errorf("%s: err = %v, want %v", name, err, tc.want)
@@ -46,6 +47,35 @@ func TestMineZeroOptionsDefaults(t *testing.T) {
 	// still succeed and produce per-row lists.
 	if len(res.PerRow) == 0 {
 		t.Fatal("zero-options mine produced no per-row lists")
+	}
+}
+
+// TestMineProgress asserts the facade forwards the progress hook: the
+// snapshots are monotone and the final one matches the run's stats.
+func TestMineProgress(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	var snaps []topkrgs.ProgressSnapshot
+	res, err := topkrgs.Mine(context.Background(), d, topkrgs.MineOptions{
+		Minsup: 2, K: 2, ProgressEvery: 1,
+		Progress: func(p topkrgs.ProgressSnapshot) { snaps = append(snaps, p) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no progress snapshots delivered")
+	}
+	for i := 1; i < len(snaps); i++ {
+		if snaps[i].Nodes < snaps[i-1].Nodes || snaps[i].Groups < snaps[i-1].Groups {
+			t.Fatalf("snapshots regressed at %d: %+v -> %+v", i, snaps[i-1], snaps[i])
+		}
+	}
+	last := snaps[len(snaps)-1]
+	if last.Nodes != int64(res.Stats.Nodes) || last.Groups != int64(res.Stats.Groups) {
+		t.Fatalf("final snapshot %+v != stats %+v", last, res.Stats)
+	}
+	if last.BudgetRemaining != -1 {
+		t.Fatalf("unbounded run: BudgetRemaining = %d, want -1", last.BudgetRemaining)
 	}
 }
 

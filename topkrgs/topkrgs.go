@@ -63,6 +63,11 @@ type (
 	MiningResult = core.Result
 	// MiningStats reports enumeration effort and abort state.
 	MiningStats = engine.Stats
+	// ProgressSnapshot is one periodic view of a running enumeration.
+	ProgressSnapshot = engine.ProgressSnapshot
+	// ProgressFunc receives ProgressSnapshots during a mine; see
+	// MineOptions.Progress.
+	ProgressFunc = engine.ProgressFunc
 	// RCBT is a trained RCBT classifier.
 	RCBT = rcbt.Classifier
 	// Model bundles a trained RCBT classifier with its discretization
@@ -134,6 +139,15 @@ type MineOptions struct {
 	// Timeout bounds the mine (0 = no limit); it composes with any
 	// deadline already on the caller's context.
 	Timeout time.Duration
+	// Progress, when non-nil, receives periodic snapshots of the
+	// enumeration (node and group counts, current dynamic confidence
+	// floor, budget remaining). Calls are serialized but may come from
+	// any worker goroutine; a slow hook stalls the emitting worker. The
+	// hook adds no steady-state allocations to the kernel.
+	Progress ProgressFunc
+	// ProgressEvery is the node stride between snapshots (0 = the
+	// engine default of 4096).
+	ProgressEvery int
 }
 
 // AllCores is the MineOptions.Workers value that runs one enumeration
@@ -158,6 +172,9 @@ func (o MineOptions) Validate() error {
 	}
 	if o.Timeout < 0 {
 		return fmt.Errorf("%w: Timeout %v", ErrBadOption, o.Timeout)
+	}
+	if o.ProgressEvery < 0 {
+		return fmt.Errorf("%w: ProgressEvery %d", ErrBadOption, o.ProgressEvery)
 	}
 	return nil
 }
@@ -203,6 +220,8 @@ func Mine(ctx context.Context, d *Dataset, opts MineOptions) (*MiningResult, err
 		cfg.Workers = opts.Workers
 	}
 	cfg.MaxNodes = opts.MaxNodes
+	cfg.Progress = opts.Progress
+	cfg.ProgressEvery = opts.ProgressEvery
 	return core.MineContext(ctx, d, opts.Class, cfg)
 }
 
