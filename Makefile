@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet analyze test race bench perf experiments fuzz serve clean
+.PHONY: all build vet analyze analyze-json test race bench perf experiments fuzz serve clean
 
 all: build vet analyze test
 
@@ -12,10 +12,19 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Repo-specific static analysis (bitset aliasing, float compares, panic
-# and error hygiene, concurrency prep). See DESIGN.md.
+# Repo-specific static analysis: conventions (bitset aliasing, float
+# compares, panic and error hygiene) plus the contract-verification
+# layer (allocfree, visitoralias, ctxflow, sentinelwrap, atomicguard).
+# See DESIGN.md §7.
 analyze:
 	$(GO) run ./cmd/vetsuite ./...
+
+# Machine-readable findings (schema vetsuite-findings/2). CI diffs this
+# against the checked-in empty baseline; regenerate the baseline with
+#   make analyze-json && cp vetsuite-findings.json .vetsuite-baseline.json
+# after adding an analyzer (the rule table is part of the output).
+analyze-json:
+	$(GO) run ./cmd/vetsuite -json ./... > vetsuite-findings.json
 
 test:
 	$(GO) test -shuffle=on ./...

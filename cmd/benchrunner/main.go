@@ -134,7 +134,7 @@ func main() {
 			for _, m := range strings.Split(*minsups, ",") {
 				v, err := strconv.ParseFloat(strings.TrimSpace(m), 64)
 				if err != nil {
-					return fmt.Errorf("bad -minsups entry %q: %v", m, err)
+					return fmt.Errorf("bad -minsups entry %q: %w", m, err)
 				}
 				cfg.Minsups = append(cfg.Minsups, v)
 			}
@@ -207,7 +207,7 @@ func main() {
 			for _, c := range strings.Split(*workerSweep, ",") {
 				v, err := strconv.Atoi(strings.TrimSpace(c))
 				if err != nil {
-					return fmt.Errorf("bad -workersweep entry %q: %v", c, err)
+					return fmt.Errorf("bad -workersweep entry %q: %w", c, err)
 				}
 				workerList = append(workerList, v)
 			}
@@ -242,7 +242,7 @@ func main() {
 			for _, c := range strings.Split(*workerSweep, ",") {
 				v, err := strconv.Atoi(strings.TrimSpace(c))
 				if err != nil {
-					return fmt.Errorf("bad -workersweep entry %q: %v", c, err)
+					return fmt.Errorf("bad -workersweep entry %q: %w", c, err)
 				}
 				counts = append(counts, v)
 			}

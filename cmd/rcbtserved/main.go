@@ -133,7 +133,7 @@ func main() {
 	var mgr *jobs.Manager
 	if *dataDir != "" {
 		var err error
-		mgr, err = jobs.Open(jobs.Config{
+		mgr, err = jobs.Open(context.Background(), jobs.Config{
 			DataDir:        *dataDir,
 			Workers:        *jobWorkers,
 			QueueDepth:     *jobQueue,

@@ -1,14 +1,26 @@
 // Command vetsuite runs the repo-specific static-analysis suite
-// (internal/analysis) over the whole module: bitset clone-before-mutate
-// discipline, rules.CompareConf float-comparison policy, panic and
-// unchecked-error hygiene, and concurrency preparation checks.
+// (internal/analysis) over the module: convention checks (bitset
+// clone-before-mutate discipline, rules.CompareConf float-comparison
+// policy, panic and unchecked-error hygiene, concurrency preparation)
+// plus the contract-verification layer (vet:allocfree zero-escape
+// proofs, engine.Visitor arena-aliasing, context threading, %w error
+// wrapping and errors.Is sentinel matching, atomic-access consistency).
 //
 // Usage:
 //
-//	vetsuite [-json] [-list] [-enable a,b] [-disable a,b] [-C dir] ./...
+//	vetsuite [-json] [-list] [-enable a,b] [-disable a,b] [-pkg patterns] [-C dir] [patterns]
 //
-// Exit status is 0 when clean, 1 when findings were reported, 2 on load
-// or usage errors.
+// Patterns (positional or via -pkg) select which packages report
+// findings — ./... (default), ./dir/... for a subtree, ./dir or an
+// import path for one package; the whole module is always loaded so
+// cross-package facts stay complete, and a pattern matching nothing is
+// an error. -list prints the analyzers; -json emits the
+// vetsuite-findings/2 report CI archives and diffs against the
+// checked-in baseline.
+//
+// Exit status is 0 when clean, 1 when findings were reported, 2 when
+// the suite could not run (load or usage errors) — distinct so CI can
+// tell dirty code from a broken checker.
 package main
 
 import (

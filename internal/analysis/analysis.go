@@ -21,14 +21,36 @@
 //     copies of lock-carrying types, no goroutine capture of shared
 //     mutable bitsets.
 //
+// A second generation of analyzers verifies the contracts the engine,
+// jobs and serve layers state in prose (DESIGN.md §7):
+//
+//   - allocfree: functions annotated "vet:allocfree" must compile with
+//     zero heap escapes, proven by the compiler's own -gcflags=-m
+//     diagnostics (panic preconditions are exempt — they never run on
+//     the steady-state path).
+//   - visitoralias: engine.Visitor implementations must not retain a
+//     parameter-derived *bitset.Set or slice past the callback — every
+//     store, send or capture needs an intervening Clone()/copy.
+//   - ctxflow: context.Context is the first parameter, is forwarded
+//     rather than re-minted, and context.Background()/TODO() stay out
+//     of non-main packages.
+//   - sentinelwrap: fmt.Errorf must wrap error operands with %w (never
+//     %v/%s) and sentinel errors are matched with errors.Is, never ==,
+//     keeping jobs.Record.Cause() matchable across a journal round-trip.
+//   - atomicguard: a field or variable accessed through sync/atomic
+//     anywhere may never be read or written non-atomically elsewhere.
+//
 // Findings can be suppressed line-by-line with a trailing or preceding
-// comment of the form:
+// comment in either of two forms:
 //
 //	// vetsuite:allow <analyzer> [-- reason]
+//	//vet:ignore <analyzer> <reason>
 //
-// and producer functions that always return a freshly allocated
-// *bitset.Set can be documented with a "vetsuite:fresh" marker in their
-// doc comment, which the bitsetalias analyzer honors across packages.
+// The vet:ignore form requires the reason; a reasonless marker
+// suppresses nothing and is itself reported as a finding. Producer
+// functions that always return a freshly allocated *bitset.Set can be
+// documented with a "vetsuite:fresh" marker in their doc comment, which
+// the bitsetalias analyzer honors across packages.
 package analysis
 
 import (
@@ -104,10 +126,20 @@ func (a allowIndex) allows(pos token.Position, analyzer string) bool {
 	return set[analyzer] || set["all"]
 }
 
-// buildAllowIndex scans every comment in the package for
-// "vetsuite:allow <name>" markers.
-func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
+// buildAllowIndex scans every comment in the package for suppression
+// markers. Two syntaxes are honored:
+//
+//	// vetsuite:allow <analyzer> [-- reason]
+//	//vet:ignore <analyzer> <reason>
+//
+// Both suppress findings on their own line and on the following line.
+// The vet:ignore form makes the reason mandatory: a marker missing the
+// analyzer name or the reason suppresses nothing and is returned as a
+// malformed-suppression diagnostic, so a suppression can never shed its
+// justification silently.
+func buildAllowIndex(fset *token.FileSet, files []*ast.File) (allowIndex, []Diagnostic) {
 	idx := allowIndex{}
+	var malformed []Diagnostic
 	add := func(file string, line int, name string) {
 		key := fmt.Sprintf("%s:%d", file, line)
 		if idx[key] == nil {
@@ -119,6 +151,28 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text := c.Text
+				if i := strings.Index(text, "vet:ignore"); i >= 0 && !strings.Contains(text, "vetsuite:allow") {
+					rest := strings.TrimSpace(text[i+len("vet:ignore"):])
+					name, reason := rest, ""
+					if j := strings.IndexAny(rest, " \t"); j >= 0 {
+						name, reason = rest[:j], strings.TrimSpace(rest[j+1:])
+					}
+					pos := fset.Position(c.Pos())
+					if name == "" || reason == "" {
+						malformed = append(malformed, Diagnostic{
+							Analyzer: "vetignore",
+							Pos:      pos,
+							File:     pos.Filename,
+							Line:     pos.Line,
+							Col:      pos.Column,
+							Message:  "vet:ignore requires an analyzer name and a reason: //vet:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					add(pos.Filename, pos.Line, name)
+					add(pos.Filename, pos.Line+1, name)
+					continue
+				}
 				i := strings.Index(text, "vetsuite:allow")
 				if i < 0 {
 					continue
@@ -137,7 +191,7 @@ func buildAllowIndex(fset *token.FileSet, files []*ast.File) allowIndex {
 			}
 		}
 	}
-	return idx
+	return idx, malformed
 }
 
 // Suite is an ordered collection of analyzers.
@@ -154,6 +208,11 @@ func DefaultSuite() *Suite {
 		PanicHygieneAnalyzer,
 		UncheckedErrAnalyzer,
 		SyncGuardAnalyzer,
+		AllocFreeAnalyzer,
+		VisitorAliasAnalyzer,
+		CtxFlowAnalyzer,
+		SentinelWrapAnalyzer,
+		AtomicGuardAnalyzer,
 	}}
 }
 
@@ -172,7 +231,8 @@ func (s *Suite) Lookup(name string) *Analyzer {
 func (s *Suite) Run(pkgs []*Package, facts *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
-		allow := buildAllowIndex(pkg.Fset, pkg.Files)
+		allow, malformed := buildAllowIndex(pkg.Fset, pkg.Files)
+		diags = append(diags, malformed...)
 		for _, az := range s.Analyzers {
 			pass := &Pass{
 				Analyzer: az,

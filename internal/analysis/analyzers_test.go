@@ -36,6 +36,51 @@ func TestDeprecatedAPIFixture(t *testing.T) {
 		"repro/internal/analysis/testdata/src/deprecatedapi")
 }
 
+func TestCtxFlowFixture(t *testing.T) {
+	runFixture(t, CtxFlowAnalyzer, "ctxflow",
+		"repro/internal/analysis/testdata/src/ctxflow")
+}
+
+// TestCtxFlowMainExemption: the same Background() call that is a
+// finding in a library package is clean in package main.
+func TestCtxFlowMainExemption(t *testing.T) {
+	runFixture(t, CtxFlowAnalyzer, "ctxflowmain",
+		"repro/internal/analysis/testdata/src/ctxflowmain")
+}
+
+func TestSentinelWrapFixture(t *testing.T) {
+	runFixture(t, SentinelWrapAnalyzer, "sentinelwrap",
+		"repro/internal/analysis/testdata/src/sentinelwrap")
+}
+
+func TestAtomicGuardFixture(t *testing.T) {
+	runFixture(t, AtomicGuardAnalyzer, "atomicguard",
+		"repro/internal/analysis/testdata/src/atomicguard")
+}
+
+func TestVisitorAliasFixture(t *testing.T) {
+	runFixture(t, VisitorAliasAnalyzer, "visitoralias",
+		"repro/internal/analysis/testdata/src/visitoralias")
+}
+
+// TestAllocFreeFixture drives the analyzer with the compiler's real
+// escape diagnostics for the fixture package.
+func TestAllocFreeFixture(t *testing.T) {
+	runFixtureWith(t, AllocFreeAnalyzer, "allocfree",
+		"repro/internal/analysis/testdata/src/allocfree",
+		func(t *testing.T, f *Facts) {
+			root, err := FindModuleRoot(".")
+			if err != nil {
+				t.Fatal(err)
+			}
+			esc, err := ComputeEscapes(root, "./internal/analysis/testdata/src/allocfree")
+			if err != nil {
+				t.Fatalf("ComputeEscapes: %v", err)
+			}
+			f.Escapes = esc
+		})
+}
+
 func TestUncheckedErrScope(t *testing.T) {
 	for path, want := range map[string]bool{
 		"repro/cmd/topkrgs":        true,

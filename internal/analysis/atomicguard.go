@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicGuardAnalyzer bans mixed atomic/plain access: a field or
+// package-level variable whose address is passed to a sync/atomic
+// function anywhere in the module (recorded module-wide in
+// Facts.AtomicFields) may never be read or written non-atomically
+// elsewhere — a single plain load next to atomic stores is a data race
+// the race detector only catches if a test happens to interleave it.
+//
+// Composite-literal keys are exempt: initializing the field before the
+// value is shared is the standard construction idiom. Typed atomics
+// (atomic.Int64 and friends, which the serve metrics and the progress
+// sampler use) need no analysis at all — their representation is
+// unexported, so a plain access cannot compile.
+var AtomicGuardAnalyzer = &Analyzer{
+	Name: "atomicguard",
+	Doc:  "fields accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  runAtomicGuard,
+}
+
+func runAtomicGuard(pass *Pass) {
+	if len(pass.Facts.AtomicFields) == 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		// Sanctioned spans: the &x operands of sync/atomic calls, plus
+		// composite-literal keys (construction-time initialization).
+		type span struct{ from, to token.Pos }
+		var sanctioned []span
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := calleeFunc(info, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				for _, arg := range n.Args {
+					if un, ok := ast.Unparen(arg).(*ast.UnaryExpr); ok && un.Op == token.AND {
+						sanctioned = append(sanctioned, span{un.X.Pos(), un.X.End()})
+					}
+				}
+			case *ast.CompositeLit:
+				for _, elt := range n.Elts {
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						sanctioned = append(sanctioned, span{kv.Key.Pos(), kv.Key.End()})
+					}
+				}
+			}
+			return true
+		})
+		allowed := func(pos token.Pos) bool {
+			for _, s := range sanctioned {
+				if s.from <= pos && pos < s.to {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil || !pass.Facts.AtomicFields[obj] || allowed(id.Pos()) {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"%s is accessed via sync/atomic elsewhere; this plain access races with those — use atomic.Load/Store here or switch the field to a typed atomic",
+				id.Name)
+			return true
+		})
+	}
+}

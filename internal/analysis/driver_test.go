@@ -17,7 +17,17 @@ func TestSuiteCleanOnModule(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
-	diags := DefaultSuite().Run(pkgs, ComputeFacts(pkgs))
+	facts := ComputeFacts(pkgs)
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc, err := ComputeEscapes(root)
+	if err != nil {
+		t.Fatalf("ComputeEscapes: %v", err)
+	}
+	facts.Escapes = esc
+	diags := DefaultSuite().Run(pkgs, facts)
 	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d)
 	}
@@ -87,6 +97,14 @@ func TestMainJSONAndFlags(t *testing.T) {
 		t.Fatalf("Main exit %d, stderr: %s\nstdout: %s", code, errOut.String(), out.String())
 	}
 	var res struct {
+		Schema string `json:"schema"`
+		Tool   struct {
+			Name  string `json:"name"`
+			Rules []struct {
+				Name string `json:"name"`
+				Doc  string `json:"doc"`
+			} `json:"rules"`
+		} `json:"tool"`
 		Count    int `json:"count"`
 		Findings []struct {
 			Analyzer string `json:"analyzer"`
@@ -98,6 +116,15 @@ func TestMainJSONAndFlags(t *testing.T) {
 	if err := json.Unmarshal(out.Bytes(), &res); err != nil {
 		t.Fatalf("bad JSON output: %v\n%s", err, out.String())
 	}
+	if res.Schema != findingsSchema {
+		t.Errorf("schema = %q, want %q", res.Schema, findingsSchema)
+	}
+	if res.Tool.Name != "vetsuite" {
+		t.Errorf("tool.name = %q, want vetsuite", res.Tool.Name)
+	}
+	if want := len(DefaultSuite().Analyzers); len(res.Tool.Rules) != want {
+		t.Errorf("tool.rules has %d entries, want %d", len(res.Tool.Rules), want)
+	}
 	if res.Count != 0 || len(res.Findings) != 0 {
 		t.Errorf("expected clean module, got %d findings", res.Count)
 	}
@@ -106,7 +133,11 @@ func TestMainJSONAndFlags(t *testing.T) {
 	if code := Main(&out, &errOut, []string{"-list"}); code != 0 {
 		t.Fatalf("-list exit %d", code)
 	}
-	for _, name := range []string{"bitsetalias", "deprecatedapi", "floatcmp", "panichygiene", "uncheckederr", "syncguard"} {
+	for _, name := range []string{
+		"bitsetalias", "deprecatedapi", "floatcmp", "panichygiene",
+		"uncheckederr", "syncguard", "allocfree", "visitoralias",
+		"ctxflow", "sentinelwrap", "atomicguard",
+	} {
 		if !strings.Contains(out.String(), name) {
 			t.Errorf("-list output missing %s:\n%s", name, out.String())
 		}
@@ -126,14 +157,116 @@ func TestMainJSONAndFlags(t *testing.T) {
 	}
 }
 
+// TestMainPatternSelection pins the -pkg / positional package selection
+// semantics: subtree and exact patterns filter findings, a pattern that
+// matches nothing is a usage error (exit 2), not a silent clean pass.
+func TestMainPatternSelection(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := Main(&out, &errOut, []string{"-C", root, "-enable", "floatcmp", "./internal/rules"}); code != 0 {
+		t.Errorf("exact pattern exit %d, stderr: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, []string{"-C", root, "-enable", "floatcmp", "-pkg", "./internal/jobs/..."}); code != 0 {
+		t.Errorf("-pkg subtree exit %d, stderr: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := Main(&out, &errOut, []string{"-C", root, "-enable", "floatcmp", "./internal/nosuchpkg"}); code != 2 {
+		t.Errorf("unmatched pattern exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "matched no packages") {
+		t.Errorf("unmatched pattern error missing, got: %s", errOut.String())
+	}
+}
+
 func TestSelectAnalyzers(t *testing.T) {
 	var ew bytes.Buffer
 	s := selectAnalyzers(DefaultSuite(), "floatcmp,syncguard", "", &ew)
 	if s == nil || len(s.Analyzers) != 2 {
 		t.Fatalf("enable filter failed: %v", s)
 	}
+	all := len(DefaultSuite().Analyzers)
 	s = selectAnalyzers(DefaultSuite(), "", "floatcmp", &ew)
-	if s == nil || len(s.Analyzers) != 5 || s.Lookup("floatcmp") != nil {
+	if s == nil || len(s.Analyzers) != all-1 || s.Lookup("floatcmp") != nil {
 		t.Fatalf("disable filter failed")
+	}
+}
+
+// TestVetIgnoreRequiresReason pins the suppression contract: a
+// vet:ignore with a reason suppresses, a reasonless or nameless marker
+// suppresses nothing and is itself reported as a "vetignore" finding.
+func TestVetIgnoreRequiresReason(t *testing.T) {
+	ldr := sharedLoader(t)
+	pkg, err := ldr.LoadDir("testdata/src/vetignore",
+		"repro/internal/analysis/testdata/src/vetignore")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := ComputeFacts(ldr.Packages())
+	diags := (&Suite{Analyzers: []*Analyzer{CtxFlowAnalyzer}}).Run([]*Package{pkg}, facts)
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+		if strings.Contains(d.Message, "reason present") {
+			t.Errorf("justified suppression did not suppress: %s", d)
+		}
+	}
+	// Two malformed markers (reasonless, nameless), each leaving its
+	// ctxflow finding unsuppressed.
+	if byAnalyzer["vetignore"] != 2 {
+		t.Errorf("got %d vetignore findings, want 2: %v", byAnalyzer["vetignore"], diags)
+	}
+	if byAnalyzer["ctxflow"] != 2 {
+		t.Errorf("got %d ctxflow findings, want 2: %v", byAnalyzer["ctxflow"], diags)
+	}
+}
+
+// TestAllocFreeRefusesVacuousPass: with annotations present but no
+// escape data the analyzer must fail loudly, not certify silently.
+func TestAllocFreeRefusesVacuousPass(t *testing.T) {
+	ldr := sharedLoader(t)
+	pkg, err := ldr.LoadDir("testdata/src/allocfree",
+		"repro/internal/analysis/testdata/src/allocfree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	facts := ComputeFacts(ldr.Packages()) // Escapes deliberately left nil
+	diags := (&Suite{Analyzers: []*Analyzer{AllocFreeAnalyzer}}).Run([]*Package{pkg}, facts)
+	if len(diags) != 1 || !strings.Contains(diags[0].Message, "escape diagnostics were not computed") {
+		t.Errorf("want exactly one config finding, got: %v", diags)
+	}
+}
+
+// TestFactsContractLayer pins the cross-package facts the new analyzers
+// consume: allocfree annotations, error sentinels, atomic fields.
+func TestFactsContractLayer(t *testing.T) {
+	pkgs := mustLoadModule(t)
+	facts := ComputeFacts(pkgs)
+
+	allocFree := map[string]bool{}
+	for obj := range facts.AllocFree {
+		allocFree[obj.Name()] = true
+	}
+	for _, name := range []string{"Add", "Contains", "IntersectWith", "IntersectCountBelow"} {
+		if !allocFree[name] {
+			t.Errorf("bitset.%s not registered vet:allocfree", name)
+		}
+	}
+
+	sentinels := map[string]bool{}
+	for obj := range facts.Sentinels {
+		if obj.Pkg() != nil {
+			sentinels[obj.Pkg().Name()+"."+obj.Name()] = true
+		}
+	}
+	for _, name := range []string{"engine.ErrNodeBudget", "jobs.ErrInterrupted", "jobs.ErrBadSpec"} {
+		if !sentinels[name] {
+			t.Errorf("%s not registered as a sentinel error", name)
+		}
 	}
 }

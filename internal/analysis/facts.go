@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"strings"
 )
@@ -17,9 +18,46 @@ import (
 //
 // A declaration is deprecated when its doc comment has a paragraph
 // starting with "Deprecated:", the standard Go convention.
+//
+// The contract-verification analyzers add three more tables plus the
+// compiler's escape diagnostics:
+//
+//   - AllocFree holds functions whose doc comment carries the
+//     "vet:allocfree" marker; the allocfree analyzer proves they
+//     compile without heap escapes.
+//   - AtomicFields holds every field or package-level variable whose
+//     address is passed to a sync/atomic function anywhere in the
+//     module; the atomicguard analyzer then bans plain access to them.
+//   - Sentinels holds package-level error variables (errors.New-style
+//     sentinels); sentinelwrap bans ==/!= comparisons against them.
+//   - Escapes is the parsed -gcflags=-m output; nil until the driver
+//     (or a test) calls ComputeEscapes, in which case allocfree reports
+//     a configuration finding rather than silently passing.
 type Facts struct {
 	Fresh      map[types.Object]bool
 	Deprecated map[types.Object]bool
+
+	AllocFree    map[types.Object]bool
+	AtomicFields map[types.Object]bool
+	Sentinels    map[types.Object]bool
+	Escapes      *EscapeSet
+
+	funcSites map[types.Object]FuncSite
+}
+
+// FuncSite locates a function declaration together with the package it
+// was type-checked in, so interprocedural analyzers (visitoralias, the
+// allocfree panic-path exemption) can inspect callee bodies across
+// package boundaries.
+type FuncSite struct {
+	Decl *ast.FuncDecl
+	Pkg  *Package
+}
+
+// FuncSite returns the declaration site of a module function object.
+func (f *Facts) FuncSite(obj types.Object) (FuncSite, bool) {
+	site, ok := f.funcSites[obj]
+	return site, ok
 }
 
 // bitsetFresh lists *bitset.Set-returning functions of the bitset
@@ -38,8 +76,12 @@ var bitsetFresh = map[string]bool{
 // built-ins.
 func ComputeFacts(pkgs []*Package) *Facts {
 	facts := &Facts{
-		Fresh:      map[types.Object]bool{},
-		Deprecated: map[types.Object]bool{},
+		Fresh:        map[types.Object]bool{},
+		Deprecated:   map[types.Object]bool{},
+		AllocFree:    map[types.Object]bool{},
+		AtomicFields: map[types.Object]bool{},
+		Sentinels:    map[types.Object]bool{},
+		funcSites:    map[types.Object]FuncSite{},
 	}
 	for _, pkg := range pkgs {
 		inBitset := isBitsetPkgPath(pkg.Path)
@@ -51,8 +93,12 @@ func ComputeFacts(pkgs []*Package) *Facts {
 					if obj == nil {
 						continue
 					}
+					facts.funcSites[obj] = FuncSite{Decl: d, Pkg: pkg}
 					if d.Doc != nil && strings.Contains(d.Doc.Text(), "vetsuite:fresh") {
 						facts.Fresh[obj] = true
+					}
+					if hasDirective(d.Doc, "//vet:allocfree") {
+						facts.AllocFree[obj] = true
 					}
 					if inBitset && bitsetFresh[d.Name.Name] {
 						facts.Fresh[obj] = true
@@ -71,6 +117,14 @@ func ComputeFacts(pkgs []*Package) *Facts {
 							names, doc = []*ast.Ident{s.Name}, s.Doc
 						case *ast.ValueSpec:
 							names, doc = s.Names, s.Doc
+							if d.Tok == token.VAR {
+								for _, name := range s.Names {
+									obj := pkg.Info.Defs[name]
+									if obj != nil && implementsError(obj.Type()) {
+										facts.Sentinels[obj] = true
+									}
+								}
+							}
 						default:
 							continue
 						}
@@ -86,9 +140,92 @@ func ComputeFacts(pkgs []*Package) *Facts {
 				}
 			}
 		}
+		collectAtomicFields(pkg, facts.AtomicFields)
 	}
 	return facts
 }
+
+// hasDirective reports whether a doc comment group contains a comment
+// line starting with the given directive. Directive comments (the
+// "//tool:rule" form) are stripped by CommentGroup.Text, so markers
+// like //vet:allocfree must be searched in the raw comment list.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(c.Text, directive) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAtomicFields records every variable whose address is taken as
+// the pointer argument of a sync/atomic function (atomic.AddInt64,
+// atomic.LoadUint32, ...). Typed atomics (atomic.Int64 and friends)
+// need no facts: their representation is private, so non-atomic access
+// cannot compile in the first place.
+func collectAtomicFields(pkg *Package, out map[types.Object]bool) {
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if obj := addressedVar(pkg.Info, un.X); obj != nil {
+					out[obj] = true
+				}
+			}
+			return true
+		})
+	}
+}
+
+// addressedVar resolves the variable (field, package-level var or
+// local) an address-of expression targets, or nil.
+func addressedVar(info *types.Info, expr ast.Expr) *types.Var {
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		v, _ := info.Uses[e].(*types.Var)
+		return v
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[e]; ok {
+			v, _ := sel.Obj().(*types.Var)
+			return v
+		}
+		// Package-qualified variable: pkg.Var.
+		v, _ := info.Uses[e.Sel].(*types.Var)
+		return v
+	case *ast.IndexExpr:
+		// &slice[i] / &arr[i]: attribute the access to the container
+		// variable so mixed atomic/plain element access is still caught.
+		return addressedVar(info, e.X)
+	}
+	return nil
+}
+
+// implementsError reports whether t satisfies the error interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface)
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
 
 // isDeprecatedDoc reports whether a doc comment has a paragraph
 // starting with the conventional "Deprecated:" marker.

@@ -48,7 +48,7 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 	}
 	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
 	if err != nil {
-		return nil, fmt.Errorf("analysis: module root %s: %v", root, err)
+		return nil, fmt.Errorf("analysis: module root %s: %w", root, err)
 	}
 	modPath := ""
 	for _, line := range strings.Split(string(data), "\n") {
@@ -175,10 +175,10 @@ func (l *Loader) LoadDir(dir, path string) (*Package, error) {
 	}
 	tpkg, err := cfg.Check(path, l.Fset, files, info)
 	if len(typeErrs) > 0 {
-		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, typeErrs[0])
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, typeErrs[0])
 	}
 	if err != nil {
-		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
 	}
 	pkg := &Package{
 		Path:  path,

@@ -6,23 +6,60 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 )
 
+// findingsSchema versions the -json output layout so CI baseline diffs
+// fail loudly when the format changes rather than silently matching.
+const findingsSchema = "vetsuite-findings/2"
+
+// Report is the machine-readable -json output: a SARIF-flavored
+// envelope (tool block, rule table, flat findings list) kept free of
+// timestamps and absolute paths so identical findings byte-compare
+// equal across runs and machines — the property the CI baseline diff
+// relies on.
+type Report struct {
+	Schema string     `json:"schema"`
+	Tool   ReportTool `json:"tool"`
+	Count  int        `json:"count"`
+	// Findings are sorted by file, line, column, analyzer; file paths
+	// are module-root-relative.
+	Findings []Diagnostic `json:"findings"`
+}
+
+// ReportTool identifies the producer and its rule set.
+type ReportTool struct {
+	Name  string       `json:"name"`
+	Rules []ReportRule `json:"rules"`
+}
+
+// ReportRule documents one analyzer that ran.
+type ReportRule struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
 // Main is the vetsuite driver: it loads every package of the module
-// enclosing dir (or the working directory), runs the selected
-// analyzers, and prints findings. It returns the process exit code:
-// 0 clean, 1 findings, 2 load or usage errors.
+// enclosing dir (or the working directory), runs the selected analyzers
+// and prints findings for the packages matching the given patterns
+// (default ./...). The whole module is always loaded — cross-package
+// facts like atomic-field usage need it — but findings are reported
+// only for selected packages. It returns the process exit code:
+// 0 clean, 1 findings, 2 load or usage errors (so CI can tell "the
+// code has findings" from "the suite could not run").
 func Main(w, ew io.Writer, args []string) int {
 	fs := flag.NewFlagSet("vetsuite", flag.ContinueOnError)
 	fs.SetOutput(ew)
-	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (schema "+findingsSchema+")")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	enable := fs.String("enable", "", "comma-separated analyzers to run (default: all)")
 	disable := fs.String("disable", "", "comma-separated analyzers to skip")
 	dir := fs.String("C", ".", "directory whose module to analyze")
+	pkgFlag := fs.String("pkg", "", "package pattern(s) to report on, comma-separated (same syntax as positional patterns)")
 	fs.Usage = func() {
-		fmt.Fprintln(ew, "usage: vetsuite [-json] [-list] [-enable a,b] [-disable a,b] [-C dir] [./...]")
+		fmt.Fprintln(ew, "usage: vetsuite [-json] [-list] [-enable a,b] [-disable a,b] [-pkg patterns] [-C dir] [patterns]")
+		fmt.Fprintln(ew, "patterns: ./... (default), ./dir/... (subtree), ./dir or import path (exact)")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -35,10 +72,12 @@ func Main(w, ew io.Writer, args []string) int {
 		}
 		return 0
 	}
-	for _, pat := range fs.Args() {
-		if pat != "./..." && pat != "all" {
-			fmt.Fprintf(ew, "vetsuite: unsupported pattern %q (only ./... — the whole module is always analyzed)\n", pat)
-			return 2
+	patterns := fs.Args()
+	if *pkgFlag != "" {
+		for _, p := range strings.Split(*pkgFlag, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				patterns = append(patterns, p)
+			}
 		}
 	}
 	if suite = selectAnalyzers(suite, *enable, *disable, ew); suite == nil {
@@ -60,23 +99,41 @@ func Main(w, ew io.Writer, args []string) int {
 		fmt.Fprintf(ew, "vetsuite: %v\n", err)
 		return 2
 	}
+	selected, err := matchPackages(pkgs, loader, patterns)
+	if err != nil {
+		fmt.Fprintf(ew, "vetsuite: %v\n", err)
+		return 2
+	}
 	facts := ComputeFacts(pkgs)
-	diags := suite.Run(pkgs, facts)
+	if suite.Lookup("allocfree") != nil {
+		esc, err := ComputeEscapes(root)
+		if err != nil {
+			fmt.Fprintf(ew, "vetsuite: %v\n", err)
+			return 2
+		}
+		facts.Escapes = esc
+	}
+	diags := suite.Run(selected, facts)
 	for i := range diags {
 		diags[i].File = relPath(root, diags[i].File)
 	}
 
 	if *jsonOut {
+		report := Report{
+			Schema:   findingsSchema,
+			Tool:     ReportTool{Name: "vetsuite"},
+			Count:    len(diags),
+			Findings: diags,
+		}
+		for _, a := range suite.Analyzers {
+			report.Tool.Rules = append(report.Tool.Rules, ReportRule{Name: a.Name, Doc: a.Doc})
+		}
+		if report.Findings == nil {
+			report.Findings = []Diagnostic{}
+		}
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		out := struct {
-			Count    int          `json:"count"`
-			Findings []Diagnostic `json:"findings"`
-		}{Count: len(diags), Findings: diags}
-		if out.Findings == nil {
-			out.Findings = []Diagnostic{}
-		}
-		if err := enc.Encode(out); err != nil {
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintf(ew, "vetsuite: %v\n", err)
 			return 2
 		}
@@ -85,13 +142,68 @@ func Main(w, ew io.Writer, args []string) int {
 			fmt.Fprintln(w, d)
 		}
 		if len(diags) > 0 {
-			fmt.Fprintf(w, "vetsuite: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+			fmt.Fprintf(w, "vetsuite: %d finding(s) in %d package(s)\n", len(diags), len(selected))
 		}
 	}
 	if len(diags) > 0 {
 		return 1
 	}
 	return 0
+}
+
+// matchPackages filters the loaded packages down to those matching the
+// go-style patterns: "./..." or "all" select everything, "./x/..."
+// selects a subtree, "./x" or a full import path selects one package.
+// An empty pattern list means everything; a pattern matching nothing is
+// an error (a typo must not silently analyze zero packages).
+func matchPackages(pkgs []*Package, loader *Loader, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	var out []*Package
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		matched := false
+		for _, pkg := range pkgs {
+			if matchPattern(pkg, loader, pat) {
+				matched = true
+				if !seen[pkg.Path] {
+					seen[pkg.Path] = true
+					out = append(out, pkg)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matched no packages", pat)
+		}
+	}
+	return out, nil
+}
+
+// matchPattern reports whether one package matches one pattern.
+func matchPattern(pkg *Package, loader *Loader, pat string) bool {
+	if pat == "all" || pat == "./..." || pat == "..." {
+		return true
+	}
+	// Normalize "./x" and "./x/..." to import-path form.
+	rec := strings.HasSuffix(pat, "/...")
+	base := strings.TrimSuffix(pat, "/...")
+	base = strings.TrimPrefix(base, "./")
+	base = strings.TrimSuffix(filepath.ToSlash(base), "/")
+	if base == "." || base == "" {
+		return rec // "./..." handled above; bare "./" only with /...
+	}
+	var path string
+	switch {
+	case base == loader.ModulePath || strings.HasPrefix(base, loader.ModulePath+"/"):
+		path = base
+	default:
+		path = loader.ModulePath + "/" + base
+	}
+	if rec {
+		return pkg.Path == path || strings.HasPrefix(pkg.Path, path+"/")
+	}
+	return pkg.Path == path
 }
 
 // selectAnalyzers applies -enable/-disable, reporting unknown names.
@@ -148,7 +260,7 @@ func contains(xs []string, x string) bool {
 // report stable, root-relative file paths.
 func relPath(root, file string) string {
 	if strings.HasPrefix(file, root+string(os.PathSeparator)) {
-		return file[len(root)+1:]
+		return filepath.ToSlash(file[len(root)+1:])
 	}
 	return file
 }

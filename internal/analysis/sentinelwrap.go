@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// SentinelWrapAnalyzer keeps the error taxonomy matchable end to end.
+// jobs.Record.Cause() and the serve error-to-status mapping only work
+// if the chain from the failure site to the classifier is unbroken:
+//
+//  1. fmt.Errorf must format error operands with %w, never %v/%s/%q —
+//     a single %v on the path from engine.ErrNodeBudget (or
+//     context.Canceled, jobs.ErrBadSpec, ...) to the journaled cause
+//     flattens the chain and errors.Is stops matching after the very
+//     first journal round-trip.
+//  2. Sentinel errors (package-level error variables) are compared
+//     with errors.Is, never == or != or a switch over the error value:
+//     identity comparison breaks as soon as any intermediate layer
+//     wraps, which rule 1 makes routine.
+var SentinelWrapAnalyzer = &Analyzer{
+	Name: "sentinelwrap",
+	Doc:  "fmt.Errorf wraps error operands with %w; sentinel comparisons use errors.Is",
+	Run:  runSentinelWrap,
+}
+
+func runSentinelWrap(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					other := n.Y
+					if side == n.Y {
+						other = n.X
+					}
+					if obj := sentinelObj(pass, side); obj != nil && !isNilIdent(info, other) {
+						pass.Reportf(n.OpPos,
+							"%s is compared with %s; use errors.Is so the match survives %%w wrapping",
+							obj.Name(), n.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				tv, ok := info.Types[n.Tag]
+				if !ok || !implementsError(tv.Type) {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, expr := range cc.List {
+						if obj := sentinelObj(pass, expr); obj != nil {
+							pass.Reportf(expr.Pos(),
+								"switch case compares the error against %s by identity; use if/else with errors.Is so the match survives %%w wrapping",
+								obj.Name())
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that format an error operand
+// with a verb other than %w.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	for _, v := range parseVerbs(format) {
+		argIdx := v.arg + 1 // offset past the format string
+		if v.verb == 'w' || argIdx >= len(call.Args) {
+			continue
+		}
+		arg := call.Args[argIdx]
+		atv, ok := info.Types[arg]
+		if !ok || !implementsError(atv.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(),
+			"error %s is formatted with %%%c, which flattens the chain and breaks errors.Is downstream (jobs.Record.Cause, serve error taxonomy); use %%w",
+			types.ExprString(arg), v.verb)
+	}
+}
+
+// fmtVerb is one conversion in a format string and the operand index it
+// consumes (0-based over the variadic arguments).
+type fmtVerb struct {
+	verb rune
+	arg  int
+}
+
+// parseVerbs walks a fmt format string and maps each verb to its
+// operand, accounting for '*' width/precision operands and explicit
+// argument indexes like %[1]v.
+func parseVerbs(format string) []fmtVerb {
+	var out []fmtVerb
+	arg := 0
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		if i >= len(runes) {
+			break
+		}
+		if runes[i] == '%' {
+			continue
+		}
+		// Flags.
+		for i < len(runes) {
+			switch runes[i] {
+			case '+', '-', '#', ' ', '0':
+				i++
+				continue
+			}
+			break
+		}
+		// Explicit argument index: %[n]v.
+		if i < len(runes) && runes[i] == '[' {
+			j := i + 1
+			idx := 0
+			for j < len(runes) && runes[j] >= '0' && runes[j] <= '9' {
+				idx = idx*10 + int(runes[j]-'0')
+				j++
+			}
+			if j < len(runes) && runes[j] == ']' && idx > 0 {
+				arg = idx - 1
+				i = j + 1
+			}
+		}
+		// Width and precision, each possibly '*' (consumes an operand).
+		consumeNum := func() {
+			if i < len(runes) && runes[i] == '*' {
+				arg++
+				i++
+				return
+			}
+			for i < len(runes) && runes[i] >= '0' && runes[i] <= '9' {
+				i++
+			}
+		}
+		consumeNum()
+		if i < len(runes) && runes[i] == '.' {
+			i++
+			consumeNum()
+		}
+		if i >= len(runes) {
+			break
+		}
+		out = append(out, fmtVerb{verb: runes[i], arg: arg})
+		arg++
+	}
+	return out
+}
+
+// sentinelObj resolves expr to a package-level error sentinel variable,
+// or nil.
+func sentinelObj(pass *Pass, expr ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := pass.Pkg.Info.Uses[id]
+	if obj != nil && pass.Facts.Sentinels[obj] {
+		return obj
+	}
+	return nil
+}
+
+// isNilIdent reports whether expr is the predeclared nil.
+func isNilIdent(info *types.Info, expr ast.Expr) bool {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

@@ -1,0 +1,42 @@
+// Package allocfree exercises the zero-allocation contract analyzer
+// against the compiler's real escape analysis (go build -gcflags=-m).
+package allocfree
+
+import "fmt"
+
+// sink keeps escape analysis honest: storing through it forces the
+// buffer to the heap.
+var sink []byte
+
+// leaks allocates and publishes the buffer; the contract is violated.
+//
+//vet:allocfree
+func leaks(n int) {
+	buf := make([]byte, n) // want `leaks is annotated vet:allocfree but the compiler reports`
+	sink = buf
+}
+
+// clean mutates its argument in place; nothing escapes.
+//
+//vet:allocfree
+func clean(xs []int) {
+	for i := range xs {
+		xs[i]++
+	}
+}
+
+// guarded allocates only while building a panic value; panic
+// preconditions are exempt from the contract.
+//
+//vet:allocfree
+func guarded(i, n int) int {
+	if i >= n {
+		panic(fmt.Sprintf("index %d out of range %d", i, n))
+	}
+	return i * 2
+}
+
+// unannotated allocates freely; without the marker nothing is checked.
+func unannotated(n int) []byte {
+	return make([]byte, n)
+}

@@ -1,0 +1,48 @@
+// Package atomicguard exercises the mixed atomic/plain access
+// analyzer: once a field is touched through sync/atomic anywhere,
+// every access must be atomic.
+package atomicguard
+
+import "sync/atomic"
+
+// counters is shared across goroutines; nodes and the package-level
+// hits are accessed with sync/atomic below, done never is.
+type counters struct {
+	nodes int64
+	done  int64
+}
+
+var hits int64
+
+func bump(c *counters) {
+	atomic.AddInt64(&c.nodes, 1) // ok: the atomic access itself
+	atomic.AddInt64(&hits, 1)    // ok
+}
+
+func plainFieldRead(c *counters) int64 {
+	return c.nodes // want `nodes is accessed via sync/atomic elsewhere`
+}
+
+func plainFieldWrite(c *counters) {
+	c.nodes = 0 // want `nodes is accessed via sync/atomic elsewhere`
+}
+
+func plainGlobalRead() int64 {
+	return hits // want `hits is accessed via sync/atomic elsewhere`
+}
+
+func atomicRead(c *counters) int64 {
+	return atomic.LoadInt64(&c.nodes) // ok
+}
+
+func construct() *counters {
+	return &counters{nodes: 0, done: 1} // ok: composite-literal keys are construction-time
+}
+
+func neverAtomic(c *counters) int64 {
+	return c.done // ok: done is never accessed atomically
+}
+
+func allowedPlain(c *counters) int64 {
+	return c.nodes //vet:ignore atomicguard fixture: suppression must work
+}

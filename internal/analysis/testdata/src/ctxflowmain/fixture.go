@@ -1,0 +1,15 @@
+// Command ctxflowmain proves the Background/TODO ban stops at package
+// main: the program entry point is the one place a root context is
+// legitimate, so this fixture must produce zero findings.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background() // ok: package main owns the root
+	run(ctx)
+}
+
+func run(ctx context.Context) {
+	<-ctx.Done()
+}

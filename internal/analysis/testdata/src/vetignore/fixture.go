@@ -1,0 +1,18 @@
+// Package vetignore exercises the suppression-with-reason contract:
+// a vet:ignore without a reason suppresses nothing and is itself a
+// finding.
+package vetignore
+
+import "context"
+
+func justified() context.Context {
+	return context.Background() //vet:ignore ctxflow fixture: reason present, suppressed
+}
+
+func reasonless() context.Context {
+	return context.Background() //vet:ignore ctxflow
+}
+
+func nameless() context.Context {
+	return context.Background() //vet:ignore
+}

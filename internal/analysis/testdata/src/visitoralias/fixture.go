@@ -1,0 +1,68 @@
+// Package visitoralias exercises the arena-aliasing analyzer: visitor
+// hooks must not retain parameter-derived bitsets or slices without an
+// intervening Clone()/copy.
+package visitoralias
+
+import "repro/internal/bitset"
+
+// group mimics a mined rule group that outlives the visitor event.
+type group struct {
+	rows *bitset.Set
+	pos  []int
+}
+
+type keeper struct {
+	last   *bitset.Set
+	groups []group
+	ch     chan []int
+}
+
+var lastRows *bitset.Set
+
+// OnGroup is a visitor hook: rows and xPos alias the enumeration arena.
+func (k *keeper) OnGroup(rows *bitset.Set, xPos []int) {
+	k.last = rows   // want `stores arena-aliased rows into k.last`
+	lastRows = rows // want `stores arena-aliased rows into package variable lastRows`
+	k.groups = append(k.groups, group{
+		rows: rows,                        // want `composite literal captures arena-aliased rows`
+		pos:  append([]int(nil), xPos...), // ok: spread-append copies the ints out
+	})
+	k.ch <- xPos  // want `sends arena-aliased xPos on a channel`
+	go scan(xPos) // want `passes arena-aliased xPos to a goroutine`
+
+	k.keep(rows) // the report lands inside keep, on the retaining store
+
+	clean := rows.Clone()
+	k.last = clean // ok: cloned at the event boundary
+}
+
+// keep retains its argument; reached interprocedurally from OnGroup.
+func (k *keeper) keep(s *bitset.Set) {
+	k.last = s // want `stores arena-aliased s into k.last`
+}
+
+// UpdateThresholds is the second hook: taint flows through locals.
+func (k *keeper) UpdateThresholds(minsups []int) {
+	local := minsups
+	k.ch <- local // want `sends arena-aliased local on a channel`
+	copied := append([]int(nil), minsups...)
+	k.ch <- copied // ok: copied
+}
+
+// scan only reads; calling it with tainted arguments is fine.
+func scan(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+type allower struct {
+	last *bitset.Set
+}
+
+func (a *allower) OnGroup(rows *bitset.Set, xPos []int) {
+	a.last = rows //vet:ignore visitoralias fixture: suppression must work
+	_ = xPos
+}

@@ -38,6 +38,14 @@ func sharedLoader(t *testing.T) *Loader {
 // diagnostic on its line, and every diagnostic must be wanted.
 func runFixture(t *testing.T, az *Analyzer, fixture, asPath string) {
 	t.Helper()
+	runFixtureWith(t, az, fixture, asPath, nil)
+}
+
+// runFixtureWith is runFixture with a hook to enrich the computed facts
+// before the analyzer runs (the allocfree fixture injects real compiler
+// escape diagnostics this way).
+func runFixtureWith(t *testing.T, az *Analyzer, fixture, asPath string, prep func(*testing.T, *Facts)) {
+	t.Helper()
 	ldr := sharedLoader(t)
 	dir := filepath.Join("testdata", "src", fixture)
 	pkg, err := ldr.LoadDir(dir, asPath)
@@ -45,6 +53,9 @@ func runFixture(t *testing.T, az *Analyzer, fixture, asPath string) {
 		t.Fatalf("loading fixture %s: %v", fixture, err)
 	}
 	facts := ComputeFacts(ldr.Packages())
+	if prep != nil {
+		prep(t, facts)
+	}
 	suite := &Suite{Analyzers: []*Analyzer{az}}
 	diags := suite.Run([]*Package{pkg}, facts)
 

@@ -44,6 +44,8 @@ func FromIndices(n int, indices ...int) *Set {
 func (s *Set) Len() int { return s.n }
 
 // Add inserts element i into the set.
+//
+//vet:allocfree
 func (s *Set) Add(i int) {
 	if i < 0 || i >= s.n {
 		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", i, s.n))
@@ -52,6 +54,8 @@ func (s *Set) Add(i int) {
 }
 
 // Remove deletes element i from the set.
+//
+//vet:allocfree
 func (s *Set) Remove(i int) {
 	if i < 0 || i >= s.n {
 		panic(fmt.Sprintf("bitset: element %d out of range [0,%d)", i, s.n))
@@ -60,6 +64,8 @@ func (s *Set) Remove(i int) {
 }
 
 // Contains reports whether i is in the set.
+//
+//vet:allocfree
 func (s *Set) Contains(i int) bool {
 	if i < 0 || i >= s.n {
 		return false
@@ -68,6 +74,8 @@ func (s *Set) Contains(i int) bool {
 }
 
 // Count returns the number of elements in the set.
+//
+//vet:allocfree
 func (s *Set) Count() int {
 	c := 0
 	for _, w := range s.words {
@@ -77,6 +85,8 @@ func (s *Set) Count() int {
 }
 
 // IsEmpty reports whether the set has no elements.
+//
+//vet:allocfree
 func (s *Set) IsEmpty() bool {
 	for _, w := range s.words {
 		if w != 0 {
@@ -95,6 +105,8 @@ func (s *Set) Clone() *Set {
 
 // CopyFrom overwrites s with the contents of other. The two sets must
 // share a universe size.
+//
+//vet:allocfree
 func (s *Set) CopyFrom(other *Set) {
 	s.mustMatch(other)
 	copy(s.words, other.words)
@@ -107,6 +119,8 @@ func (s *Set) mustMatch(other *Set) {
 }
 
 // IntersectWith replaces s with s ∩ other.
+//
+//vet:allocfree
 func (s *Set) IntersectWith(other *Set) {
 	s.mustMatch(other)
 	for i := range s.words {
@@ -115,6 +129,8 @@ func (s *Set) IntersectWith(other *Set) {
 }
 
 // UnionWith replaces s with s ∪ other.
+//
+//vet:allocfree
 func (s *Set) UnionWith(other *Set) {
 	s.mustMatch(other)
 	for i := range s.words {
@@ -123,6 +139,8 @@ func (s *Set) UnionWith(other *Set) {
 }
 
 // DifferenceWith replaces s with s \ other.
+//
+//vet:allocfree
 func (s *Set) DifferenceWith(other *Set) {
 	s.mustMatch(other)
 	for i := range s.words {
@@ -132,6 +150,8 @@ func (s *Set) DifferenceWith(other *Set) {
 
 // IntersectInto overwrites s with a ∩ b in a single word sweep. All
 // three sets must share a universe; s may alias a or b (in-place use).
+//
+//vet:allocfree
 func (s *Set) IntersectInto(a, b *Set) {
 	s.mustMatch(a)
 	s.mustMatch(b)
@@ -144,6 +164,8 @@ func (s *Set) IntersectInto(a, b *Set) {
 // elements strictly below limit and in total, all in one word sweep —
 // the fused form of IntersectInto + CountBelow + Count the enumeration
 // kernel runs per node. s may alias a or b.
+//
+//vet:allocfree
 func (s *Set) IntersectCountBelow(a, b *Set, limit int) (below, total int) {
 	s.mustMatch(a)
 	s.mustMatch(b)
@@ -192,6 +214,8 @@ func (s *Set) Difference(other *Set) *Set {
 }
 
 // IntersectionCount returns |s ∩ other| without allocating.
+//
+//vet:allocfree
 func (s *Set) IntersectionCount(other *Set) int {
 	s.mustMatch(other)
 	c := 0
@@ -202,6 +226,8 @@ func (s *Set) IntersectionCount(other *Set) int {
 }
 
 // ContainsAll reports whether other ⊆ s.
+//
+//vet:allocfree
 func (s *Set) ContainsAll(other *Set) bool {
 	s.mustMatch(other)
 	for i, w := range other.words {
@@ -213,6 +239,8 @@ func (s *Set) ContainsAll(other *Set) bool {
 }
 
 // Intersects reports whether s ∩ other is non-empty.
+//
+//vet:allocfree
 func (s *Set) Intersects(other *Set) bool {
 	s.mustMatch(other)
 	for i, w := range s.words {
@@ -224,6 +252,8 @@ func (s *Set) Intersects(other *Set) bool {
 }
 
 // Equal reports whether s and other contain exactly the same elements.
+//
+//vet:allocfree
 func (s *Set) Equal(other *Set) bool {
 	if s.n != other.n {
 		return false
@@ -237,6 +267,8 @@ func (s *Set) Equal(other *Set) bool {
 }
 
 // Clear removes all elements.
+//
+//vet:allocfree
 func (s *Set) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
@@ -275,6 +307,8 @@ func (s *Set) Indices() []int {
 // in ascending order and returns the extended slice. When buf has
 // sufficient capacity no allocation occurs — this is the no-alloc form
 // of Indices the enumeration kernel feeds from its scratch arenas.
+//
+//vet:allocfree
 func (s *Set) AppendIndicesBelow(buf []int, limit int) []int {
 	if limit > s.n {
 		limit = s.n
@@ -331,6 +365,8 @@ func (s *Set) Max() (int, bool) {
 }
 
 // CountBelow returns the number of elements strictly less than limit.
+//
+//vet:allocfree
 func (s *Set) CountBelow(limit int) int {
 	if limit <= 0 {
 		return 0
@@ -351,6 +387,8 @@ func (s *Set) CountBelow(limit int) int {
 
 // AnyBelow reports whether the set contains an element strictly less
 // than limit that is not present in excl.
+//
+//vet:allocfree
 func (s *Set) AnyBelow(limit int, excl *Set) bool {
 	s.mustMatch(excl)
 	if limit <= 0 {
@@ -377,6 +415,8 @@ func (s *Set) AnyBelow(limit int, excl *Set) bool {
 // strictly below limit, returning at the first word that proves it.
 // It fuses the final intersection step of a closure with the backward
 // closedness check, so a pruned node never pays for the full product.
+//
+//vet:allocfree
 func (s *Set) AnyBelowAndNot(limit int, b, excl *Set) bool {
 	s.mustMatch(b)
 	s.mustMatch(excl)
@@ -434,6 +474,8 @@ func (s *Set) Key() string {
 // whole words. Equal sets over one universe hash identically; distinct
 // sets may collide, so deduplication must confirm with Equal. Unlike
 // Key it materializes nothing on the heap.
+//
+//vet:allocfree
 func (s *Set) Hash64() uint64 {
 	const (
 		offset64 uint64 = 14695981039346656037

@@ -66,7 +66,7 @@ func Train(d *dataset.Dataset, cfg Config) (*Classifier, error) {
 		minsup := ceilFrac(cfg.MinsupFrac, n)
 		res, err := core.Mine(d, label, core.DefaultConfig(minsup, 1))
 		if err != nil {
-			return nil, fmt.Errorf("cba: mining class %s: %v", d.ClassNames[cls], err)
+			return nil, fmt.Errorf("cba: mining class %s: %w", d.ClassNames[cls], err)
 		}
 		lbs := LowerBoundPool(d, res.Groups, lowerbound.Config{
 			NL:            cfg.NL,

@@ -32,7 +32,7 @@ func (c *Classifier) Save(w io.Writer) error {
 func Load(r io.Reader) (*Classifier, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return nil, fmt.Errorf("cba: load: %v", err)
+		return nil, fmt.Errorf("cba: load: %w", err)
 	}
 	if env.Kind != modelKind {
 		return nil, fmt.Errorf("cba: load: not a CBA model (kind %q)", env.Kind)

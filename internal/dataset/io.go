@@ -70,7 +70,7 @@ func ReadMatrix(r io.Reader) (*Matrix, error) {
 			for i, f := range fields[1:] {
 				v, err := strconv.ParseFloat(f, 64)
 				if err != nil {
-					return nil, fmt.Errorf("dataset: line %d: bad value %q: %v", line, f, err)
+					return nil, fmt.Errorf("dataset: line %d: bad value %q: %w", line, f, err)
 				}
 				vals[i] = v
 			}
@@ -79,7 +79,7 @@ func ReadMatrix(r io.Reader) (*Matrix, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: read: %v", err)
+		return nil, fmt.Errorf("dataset: read: %w", err)
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -167,7 +167,7 @@ func ReadDataset(r io.Reader) (*Dataset, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("dataset: read: %v", err)
+		return nil, fmt.Errorf("dataset: read: %w", err)
 	}
 	if err := d.Validate(); err != nil {
 		return nil, err

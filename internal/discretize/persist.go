@@ -79,7 +79,7 @@ func Read(r io.Reader) (*Discretizer, error) {
 		for _, f := range fields[1:] {
 			v, err := strconv.ParseFloat(f, 64)
 			if err != nil {
-				return nil, fmt.Errorf("discretize: line %d: bad cut %q: %v", line, f, err)
+				return nil, fmt.Errorf("discretize: line %d: bad cut %q: %w", line, f, err)
 			}
 			cuts = append(cuts, v)
 		}
@@ -91,7 +91,7 @@ func Read(r io.Reader) (*Discretizer, error) {
 		dz.Cuts = append(dz.Cuts, cuts)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("discretize: read: %v", err)
+		return nil, fmt.Errorf("discretize: read: %w", err)
 	}
 	if len(dz.ClassNames) < 2 {
 		return nil, fmt.Errorf("discretize: missing or short #classes header")

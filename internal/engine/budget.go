@@ -38,7 +38,7 @@ func NewBudget(ctx context.Context, maxNodes int) *Budget {
 // context and cap. Not safe to call while workers are charging.
 func (b *Budget) Reset(ctx context.Context, maxNodes int) {
 	if ctx == nil {
-		ctx = context.Background()
+		ctx = context.Background() //vet:ignore ctxflow defensive default for a nil ctx; callers on the cancellation path always pass one
 	}
 	b.ctx = ctx
 	b.maxNodes = int64(maxNodes)
@@ -49,6 +49,8 @@ func (b *Budget) Reset(ctx context.Context, maxNodes int) {
 // run is cancelled or past its deadline, ErrNodeBudget when the node
 // cap is exhausted, and nil otherwise. Cancellation wins over the cap,
 // so a cancelled run reports ctx.Err() rather than a budget abort.
+//
+//vet:allocfree
 func (b *Budget) Charge(n int) error {
 	if err := b.ctx.Err(); err != nil {
 		return err
@@ -61,10 +63,14 @@ func (b *Budget) Charge(n int) error {
 }
 
 // Nodes returns the work units charged so far.
+//
+//vet:allocfree
 func (b *Budget) Nodes() int { return int(b.nodes.Load()) }
 
 // Remaining returns the work units left before exhaustion, or -1 when
 // the budget has no node cap.
+//
+//vet:allocfree
 func (b *Budget) Remaining() int64 {
 	if b.maxNodes <= 0 {
 		return -1

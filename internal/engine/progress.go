@@ -85,6 +85,8 @@ func (p *progressSampler) arm(fn ProgressFunc, every int64, budget *Budget, floo
 // localDepth is the calling worker's deepest level so far; the sampler
 // folds it into the global maximum at emission time only, keeping the
 // per-node cost to one atomic add and a comparison.
+//
+//vet:allocfree
 func (p *progressSampler) tick(localDepth int) {
 	if p.ticks.Add(1)%p.every != 0 {
 		return
@@ -93,6 +95,8 @@ func (p *progressSampler) tick(localDepth int) {
 }
 
 // onGroup counts one OnGroup event (rare relative to nodes).
+//
+//vet:allocfree
 func (p *progressSampler) onGroup() { p.groups.Add(1) }
 
 // emit delivers one snapshot. Cold path: runs once per sampling stride

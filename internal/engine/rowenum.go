@@ -198,6 +198,8 @@ func buildRowItems(numRows int, itemRows []*bitset.Set) []*bitset.Set {
 }
 
 // posSplit splits an ascending candidate list at NumPos.
+//
+//vet:allocfree
 func (e *Enumerator) posSplit(cand []int) (pos, neg []int) {
 	i := 0
 	for i < len(cand) && cand[i] < e.NumPos {
@@ -211,6 +213,8 @@ func (e *Enumerator) posSplit(cand []int) (pos, neg []int) {
 // the parallel root). The node works entirely inside its depth's arena
 // level: the steady-state path performs zero heap allocations (see
 // DESIGN.md §5b, "memory model of the hot loop").
+//
+//vet:allocfree
 func (e *Enumerator) visitNode(t task) error {
 	e.stats.Nodes++
 	if err := e.budget.Charge(1); err != nil {

@@ -88,13 +88,21 @@ func (sc *scratch) clone() *scratch {
 // checks for.
 
 // xSet returns the level's row-set slot for a task's X.
+//
+//vet:allocfree
 func (l *level) xSet() *bitset.Set { return l.x }
 
 // closedSet returns the level's row-set slot for R(I(X)).
+//
+//vet:allocfree
 func (l *level) closedSet() *bitset.Set { return l.closed }
 
 // aliveSet returns the level's item-universe mask slot.
+//
+//vet:allocfree
 func (l *level) aliveSet() *bitset.Set { return l.alive }
 
 // childMaskSet returns the level's per-child item-set slot.
+//
+//vet:allocfree
 func (l *level) childMaskSet() *bitset.Set { return l.childMask }

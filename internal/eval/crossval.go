@@ -89,7 +89,7 @@ func CrossValidate(m *dataset.Matrix, k int, seed int64, train TrainFunc) (*CVRe
 		trainM := selectRows(m, trainRows)
 		pred, err := train(trainM)
 		if err != nil {
-			return nil, fmt.Errorf("eval: fold %d: %v", f, err)
+			return nil, fmt.Errorf("eval: fold %d: %w", f, err)
 		}
 		correct := 0
 		for _, r := range testRows {

@@ -125,15 +125,15 @@ func Evaluate(train, test *dataset.Matrix, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	dz, err := discretize.FitMatrix(train)
 	if err != nil {
-		return nil, fmt.Errorf("eval: discretize: %v", err)
+		return nil, fmt.Errorf("eval: discretize: %w", err)
 	}
 	dTrain, err := dz.Transform(train)
 	if err != nil {
-		return nil, fmt.Errorf("eval: transform train: %v", err)
+		return nil, fmt.Errorf("eval: transform train: %w", err)
 	}
 	dTest, err := dz.Transform(test)
 	if err != nil {
-		return nil, fmt.Errorf("eval: transform test: %v", err)
+		return nil, fmt.Errorf("eval: transform test: %w", err)
 	}
 
 	res := &Result{

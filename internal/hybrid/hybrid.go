@@ -126,7 +126,7 @@ func (s *runState) exhausted() bool {
 // column-partitioned row enumeration. It is MineContext without
 // cancellation.
 func Mine(d *dataset.Dataset, cls dataset.Label, cfg Config) (*Result, error) {
-	return MineContext(context.Background(), d, cls, cfg)
+	return MineContext(context.Background(), d, cls, cfg) //vet:ignore ctxflow Mine is the documented context-free convenience wrapper over MineContext
 }
 
 // MineContext is Mine with cancellation: ctx cancellation or deadline

@@ -57,7 +57,7 @@ func Train(d *dataset.Dataset, cfg Config) (*Classifier, error) {
 		}
 		res, err := core.Mine(d, label, core.DefaultConfig(minsup, cfg.K))
 		if err != nil {
-			return nil, fmt.Errorf("irg: mining class %s: %v", d.ClassNames[cls], err)
+			return nil, fmt.Errorf("irg: mining class %s: %w", d.ClassNames[cls], err)
 		}
 		for _, g := range res.Groups {
 			if g.Confidence >= cfg.Minconf {

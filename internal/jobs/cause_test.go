@@ -1,0 +1,73 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestRecordCauseMatrix pins the error-taxonomy contract end to end:
+// every journaled cause tag survives a JSON round-trip (exactly what
+// persist/recoverJournal do) and maps back to a sentinel that
+// errors.Is matches — including through an extra %w wrapping layer,
+// which is how callers above the manager propagate it.
+func TestRecordCauseMatrix(t *testing.T) {
+	cases := []struct {
+		tag  string
+		want error
+	}{
+		{CauseCanceled, context.Canceled},
+		{CauseDeadline, context.DeadlineExceeded},
+		{CauseBudget, engine.ErrNodeBudget},
+		{CauseInterrupted, ErrInterrupted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.tag, func(t *testing.T) {
+			rec := &Record{
+				Schema:   JournalSchemaVersion,
+				ID:       "job-" + tc.tag,
+				State:    StateFailed,
+				ErrCause: tc.tag,
+			}
+			data, err := json.MarshalIndent(rec, "", " ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back Record
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			got := back.Cause()
+			if got == nil {
+				t.Fatalf("Cause() = nil after round-trip, want %v", tc.want)
+			}
+			if !errors.Is(got, tc.want) {
+				t.Errorf("errors.Is(%v, %v) = false", got, tc.want)
+			}
+			// Another wrapping layer — the serve error taxonomy does this —
+			// must not break the match.
+			wrapped := fmt.Errorf("job %s: %w", back.ID, got)
+			if !errors.Is(wrapped, tc.want) {
+				t.Errorf("errors.Is after wrapping = false for %v", tc.want)
+			}
+			// The sentinels are distinct: no tag may match another's error.
+			for _, other := range cases {
+				if other.tag != tc.tag && errors.Is(got, other.want) {
+					t.Errorf("cause %q also matches %v", tc.tag, other.want)
+				}
+			}
+		})
+	}
+
+	// Clean completions and unknown tags map to no cause at all.
+	for _, tag := range []string{"", "someday-new-tag"} {
+		rec := &Record{ErrCause: tag}
+		if got := rec.Cause(); got != nil {
+			t.Errorf("Cause() with tag %q = %v, want nil", tag, got)
+		}
+	}
+}

@@ -81,7 +81,7 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 	if err := json.Unmarshal(b, &s); err == nil {
 		v, err := time.ParseDuration(s)
 		if err != nil {
-			return fmt.Errorf("jobs: bad duration %q: %v", s, err)
+			return fmt.Errorf("jobs: bad duration %q: %w", s, err)
 		}
 		*d = Duration(v)
 		return nil

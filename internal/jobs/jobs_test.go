@@ -26,7 +26,7 @@ func openTest(t *testing.T, cfg Config) *Manager {
 	if cfg.DataDir == "" {
 		cfg.DataDir = t.TempDir()
 	}
-	m, err := Open(cfg)
+	m, err := Open(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

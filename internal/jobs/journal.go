@@ -74,18 +74,18 @@ func atomicWrite(path string, data []byte) error {
 func (m *Manager) recoverJournal() error {
 	for _, dir := range []string{m.jobsDir, m.modelsDir} {
 		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("jobs: %v", err)
+			return fmt.Errorf("jobs: %w", err)
 		}
 	}
 	paths, err := filepath.Glob(filepath.Join(m.jobsDir, "*.json"))
 	if err != nil {
-		return fmt.Errorf("jobs: %v", err)
+		return fmt.Errorf("jobs: %w", err)
 	}
 	var recovered []*Record
 	for _, p := range paths {
 		data, err := os.ReadFile(p)
 		if err != nil {
-			return fmt.Errorf("jobs: recover: %v", err)
+			return fmt.Errorf("jobs: recover: %w", err)
 		}
 		var rec Record
 		if err := json.Unmarshal(data, &rec); err != nil {
@@ -107,7 +107,7 @@ func (m *Manager) recoverJournal() error {
 			rec.ErrCause = CauseInterrupted
 			rec.FinishedAt = &now
 			if err := m.persist(&rec); err != nil {
-				return fmt.Errorf("jobs: recover: %v", err)
+				return fmt.Errorf("jobs: recover: %w", err)
 			}
 			m.logf("job %s recovered as failed (interrupted)", rec.ID)
 		}

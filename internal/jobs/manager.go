@@ -77,8 +77,10 @@ type Manager struct {
 
 // Open creates the data directories, recovers journaled records
 // (marking jobs that were queued or running when their process died as
-// failed with an interrupted cause), and starts the worker pool.
-func Open(cfg Config) (*Manager, error) {
+// failed with an interrupted cause), and starts the worker pool. ctx is
+// the base context every job runs under: cancelling it cancels all
+// queued and running jobs, exactly like Close.
+func Open(ctx context.Context, cfg Config) (*Manager, error) {
 	if cfg.DataDir == "" {
 		return nil, fmt.Errorf("jobs: Config.DataDir is required")
 	}
@@ -99,7 +101,7 @@ func Open(cfg Config) (*Manager, error) {
 		durBucket: make([]int64, len(DurationBuckets)),
 	}
 	m.onModel = cfg.OnModel
-	m.baseCtx, m.baseCancel = context.WithCancel(context.Background())
+	m.baseCtx, m.baseCancel = context.WithCancel(ctx)
 	if err := m.recoverJournal(); err != nil {
 		return nil, err
 	}
@@ -237,7 +239,7 @@ func (m *Manager) Submit(spec Spec, data Data) (*Record, error) {
 	if err != nil {
 		// The worker still runs the job; the journal just misses it until
 		// the next transition persists. Surface the disk problem.
-		return snap, fmt.Errorf("jobs: journal write: %v", err)
+		return snap, fmt.Errorf("jobs: journal write: %w", err)
 	}
 	m.logf("job %s queued (%s)", rec.ID, spec.Kind)
 	return snap, nil
@@ -289,7 +291,7 @@ func (m *Manager) Cancel(id string) (*Record, error) {
 		snap := rec.clone()
 		m.mu.Unlock()
 		if err := m.persist(snap); err != nil {
-			return snap, fmt.Errorf("jobs: journal write: %v", err)
+			return snap, fmt.Errorf("jobs: journal write: %w", err)
 		}
 		m.logf("job %s canceled while queued", id)
 		return snap, nil
@@ -498,7 +500,7 @@ func (m *Manager) runMine(ctx context.Context, spec Spec, data Data, progress en
 	d := data.Dataset
 	cls, err := classOf(d, spec.Class)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		return nil, fmt.Errorf("%w: %w", ErrBadSpec, err)
 	}
 	k := spec.K
 	if k == 0 {

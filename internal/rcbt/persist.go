@@ -207,7 +207,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 	var env envelope
 	dec := json.NewDecoder(r)
 	if err := dec.Decode(&env); err != nil {
-		return nil, fmt.Errorf("rcbt: load: %v", err)
+		return nil, fmt.Errorf("rcbt: load: %w", err)
 	}
 	if env.Kind != modelKind {
 		return nil, fmt.Errorf("rcbt: load: not an RCBT model (kind %q)", env.Kind)
@@ -235,7 +235,7 @@ func LoadModel(r io.Reader) (*Model, error) {
 		}
 		dz, err := discretize.FromCuts(env.Cuts.ClassNames, names, cuts)
 		if err != nil {
-			return nil, fmt.Errorf("rcbt: load: %v", err)
+			return nil, fmt.Errorf("rcbt: load: %w", err)
 		}
 		m.Discretizer = dz
 		if m.NumItems == 0 {

@@ -125,7 +125,7 @@ type Stats struct {
 // Train builds an RCBT classifier from a discretized training dataset.
 // It is TrainContext without cancellation.
 func Train(d *dataset.Dataset, cfg Config) (*Classifier, error) {
-	return TrainContext(context.Background(), d, cfg)
+	return TrainContext(context.Background(), d, cfg) //vet:ignore ctxflow Train is the documented context-free convenience wrapper over TrainContext
 }
 
 // TrainContext builds an RCBT classifier with cancellation: ctx
@@ -173,7 +173,7 @@ func TrainContext(ctx context.Context, d *dataset.Dataset, cfg Config) (*Classif
 			if ctx.Err() != nil {
 				return nil, ctx.Err()
 			}
-			return nil, fmt.Errorf("rcbt: mining class %s: %v", d.ClassNames[cls], err)
+			return nil, fmt.Errorf("rcbt: mining class %s: %w", d.ClassNames[cls], err)
 		}
 		perClass[cls] = res
 	}

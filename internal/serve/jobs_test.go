@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -21,7 +22,7 @@ import (
 // the running example registered as a named dataset.
 func newJobServer(t *testing.T, dir string) (*Server, *jobs.Manager) {
 	t.Helper()
-	mgr, err := jobs.Open(jobs.Config{DataDir: dir, Workers: 2})
+	mgr, err := jobs.Open(context.Background(), jobs.Config{DataDir: dir, Workers: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +316,7 @@ func TestJobRestartServing(t *testing.T) {
 
 	// Restart: a new manager and server over the same data dir, with no
 	// preloaded models at all.
-	mgr2, err := jobs.Open(jobs.Config{DataDir: dir})
+	mgr2, err := jobs.Open(context.Background(), jobs.Config{DataDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}

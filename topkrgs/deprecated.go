@@ -27,6 +27,7 @@ type Options struct {
 // Deprecated: use Mine(ctx, d, MineOptions{Class: cls, Minsup: minsup,
 // K: k}).
 func MineLegacy(d *Dataset, cls Label, minsup, k int) (*MiningResult, error) {
+	//vet:ignore ctxflow deprecated context-free shim kept for the pre-redesign API
 	return Mine(context.Background(), d, MineOptions{Class: cls, Minsup: minsup, K: k})
 }
 
@@ -53,5 +54,6 @@ func MineContext(ctx context.Context, d *Dataset, cls Label, minsup, k int, opts
 //
 // Deprecated: use TrainRCBT(ctx, d, cfg).
 func TrainRCBTLegacy(d *Dataset, cfg RCBTConfig) (*RCBT, error) {
+	//vet:ignore ctxflow deprecated context-free shim kept for the pre-redesign API
 	return TrainRCBT(context.Background(), d, cfg)
 }
