@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig6e, table2, fig7, fig8, defaultclass, minsupsweep, groupcount, topgenes, ablation, parallelspeedup, perf, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig6e, table2, fig7, fig8, defaultclass, minsupsweep, groupcount, topgenes, ablation, parallelspeedup, speedup, perf, all")
 	scale := flag.Int("scale", 1, "gene-count divisor (1 = paper scale)")
 	budget := flag.Int("budget", 3_000_000, "baseline node budget before DNF")
 	topkBudget := flag.Int("topkbudget", 0, "optional MineTopkRGS node budget in fig6 (0 = unbounded)")
@@ -38,7 +38,9 @@ func main() {
 	jsonOut := flag.String("json", "", "also write the experiment's structured results as JSON to this file")
 	workers := flag.Int("workers", 1, "TopkRGS enumeration workers in mining experiments (0 = all cores)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
-	workerSweep := flag.String("workersweep", "", "comma-separated worker counts for parallelspeedup (e.g. 1,2,4,8)")
+	workerSweep := flag.String("workersweep", "", "comma-separated worker counts for parallelspeedup/speedup (e.g. 1,2,4,8)")
+	topk := flag.Int("k", 0, "for -exp speedup: top-k list length per row (0 = experiment default)")
+	assertSpeedup := flag.Float64("assert-speedup", 0, "for -exp speedup: fail unless the 4-worker topk run on the largest dataset reaches this speedup over sequential (skipped with a warning when the machine has fewer than 4 CPUs)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -235,6 +237,69 @@ func main() {
 			return err
 		}
 		return f.Close()
+	})
+	run("speedup", func() error {
+		var counts []int
+		if *workerSweep != "" {
+			for _, c := range strings.Split(*workerSweep, ",") {
+				v, err := strconv.Atoi(strings.TrimSpace(c))
+				if err != nil {
+					return fmt.Errorf("bad -workersweep entry %q: %w", c, err)
+				}
+				counts = append(counts, v)
+			}
+		}
+		scfg := bench.SpeedupCurveConfig{Scale: s, Workers: counts, K: *topk}
+		if *datasets != "" {
+			scfg.Dataset = strings.TrimSpace(strings.Split(*datasets, ",")[0])
+		}
+		if *minsups != "" {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.Split(*minsups, ",")[0]), 64)
+			if err != nil {
+				return fmt.Errorf("bad -minsups entry: %w", err)
+			}
+			scfg.Minsup = v
+		}
+		pts, err := bench.SpeedupCurve(ctx, w, scfg)
+		if err != nil {
+			return err
+		}
+		// The curve is archived across PRs next to the fig6 trajectory.
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_speedup.json"
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pts); err != nil {
+			_ = f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if *assertSpeedup > 0 {
+			if runtime.NumCPU() < 4 {
+				fmt.Fprintf(os.Stderr, "benchrunner: speedup: WARNING: only %d CPUs, skipping -assert-speedup %.2f (a 4-worker wall-clock gate needs >= 4 cores)\n",
+					runtime.NumCPU(), *assertSpeedup)
+				return nil
+			}
+			pt := bench.LargestAt(pts, 4)
+			if pt == nil {
+				return fmt.Errorf("speedup: no 4-worker point to assert on")
+			}
+			if pt.Speedup < *assertSpeedup {
+				return fmt.Errorf("speedup gate failed: %s with 4 workers reached %.2fx, want >= %.2fx",
+					pt.Dataset, pt.Speedup, *assertSpeedup)
+			}
+			fmt.Fprintf(os.Stdout, "speedup gate ok: %s with 4 workers reached %.2fx (>= %.2fx)\n",
+				pt.Dataset, pt.Speedup, *assertSpeedup)
+		}
+		return nil
 	})
 	run("parallelspeedup", func() error {
 		var counts []int

@@ -92,3 +92,59 @@ func badFieldCapture(j job, done chan struct{}) {
 		close(done)
 	}()
 }
+
+// deque mirrors the work-stealing engine: a mutex-guarded per-worker
+// task queue. Tasks enter it carrying bitsets copied out of the
+// spawner's arena at offload time, so whichever goroutine later pops
+// or steals a task owns its state exclusively — the positive shape of
+// the steal-time-clone pattern.
+type deque struct {
+	mu    sync.Mutex
+	tasks []job
+}
+
+func (d *deque) push(j job) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, j)
+	d.mu.Unlock()
+}
+
+func (d *deque) stealHalf() []job {
+	d.mu.Lock()
+	n := (len(d.tasks) + 1) / 2
+	batch := make([]job, n)
+	copy(batch, d.tasks[:n])
+	d.tasks = append(d.tasks[:0], d.tasks[n:]...)
+	d.mu.Unlock()
+	return batch
+}
+
+func okOffloadThenSteal(src *bitset.Set, done chan struct{}) {
+	d := &deque{}
+	// Offload: the spawner clones arena state into the task before it
+	// becomes visible to thieves.
+	d.push(job{x: src.Clone()})
+	d.push(job{x: src.Clone()})
+	go func() {
+		// Thief: every stolen task owns its cloned state outright.
+		for _, j := range d.stealHalf() {
+			consume(j) // ok: ownership moved at offload time, under the lock
+		}
+		close(done)
+	}()
+	src.Add(1) // the spawner keeps mutating its own arena freely
+}
+
+func badOffloadWithoutClone(src *bitset.Set, done chan struct{}) {
+	d := &deque{}
+	d.push(job{x: src}) // the alias escapes into the deque...
+	go func() {
+		for _, j := range d.stealHalf() {
+			_ = j
+		}
+		close(done)
+	}()
+	go func() {
+		src.Add(1) // want `goroutine captures mutable bitset src`
+	}()
+}

@@ -66,3 +66,35 @@ func (a *allower) OnGroup(rows *bitset.Set, xPos []int) {
 	a.last = rows //vet:ignore visitoralias fixture: suppression must work
 	_ = xPos
 }
+
+// event mirrors the streaming-merge engine's buffered visitor events:
+// a fork records what it saw so the parent can replay it later, long
+// after the arena slot has been rewritten.
+type event struct {
+	rows *bitset.Set
+	xPos []int
+}
+
+type streamer struct {
+	events []event
+	out    chan []event
+}
+
+// OnGroup is the positive shape of the steal-time-clone pattern: every
+// arena-aliased argument is copied at the event boundary, so the
+// buffered event — and the sealed batch a Flush later ships across
+// goroutines — owns its state outright.
+func (s *streamer) OnGroup(rows *bitset.Set, xPos []int) {
+	s.events = append(s.events, event{
+		rows: rows.Clone(),                // ok: cloned at the event boundary
+		xPos: append([]int(nil), xPos...), // ok: ints copied out
+	})
+}
+
+// Flush seals the buffered events into a batch; sending it onward is
+// fine because nothing in it aliases the arena.
+func (s *streamer) Flush() {
+	batch := s.events
+	s.events = nil
+	s.out <- batch // ok: batch holds only event-boundary copies
+}

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestParallelDeterminismPaperProfile re-runs the determinism oracle on
+// a realistic mining profile: the synthetic PC dataset at scale 15 with
+// k=60 and 70% minsup, which builds a tree deep and wide enough that
+// every parallel mechanism (steal-half, streaming merge, frontier
+// publication, task baselines, per-task minsup scoping) is exercised on
+// full top-k lists. The random corpus in internal/core uses tiny k and
+// misses tie-displacement bugs that only appear when lists saturate;
+// this profile caught two such bugs that the corpus passed.
+func TestParallelDeterminismPaperProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	var pr *prepared
+	for _, p := range profiles(15) {
+		if baseName(p.Name) == "PC" {
+			var err error
+			if pr, err = prepare(p); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	if pr == nil {
+		t.Fatal("no PC profile at scale 15")
+	}
+	ms := minsupAbs(pr.dTrain, 0.7)
+	ctx := context.Background()
+	key := func(res *engine.Result) []string {
+		out := make([]string, 0, len(res.Groups))
+		for _, g := range res.Groups {
+			out = append(out, fmt.Sprintf("%v|%.6f|%d", g.Antecedent, g.Confidence, g.Support))
+		}
+		return out
+	}
+	seq, _, err := mineVia(ctx, "topk", pr.dTrain, engine.Options{K: 60, Minsup: ms, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := key(seq)
+	if len(sk) == 0 {
+		t.Fatal("sequential run found no groups; profile no longer exercises the tree")
+	}
+	// Several trials per worker count: scheduling nondeterminism means a
+	// single run can get a schedule where every steal happens to splice
+	// in order, masking an unsound suppression channel.
+	for trial := 0; trial < 5; trial++ {
+		for _, workers := range []int{2, 4, 8} {
+			res, _, err := mineVia(ctx, "topk", pr.dTrain, engine.Options{K: 60, Minsup: ms, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			pk := key(res)
+			if len(pk) != len(sk) {
+				t.Fatalf("trial %d workers %d: %d groups vs %d sequential", trial, workers, len(pk), len(sk))
+			}
+			for i := range sk {
+				if pk[i] != sk[i] {
+					t.Fatalf("trial %d workers %d group %d: parallel %s vs sequential %s", trial, workers, i, pk[i], sk[i])
+				}
+			}
+		}
+	}
+}

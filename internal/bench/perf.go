@@ -26,6 +26,12 @@ type PerfPoint struct {
 	Nodes       int     `json:"nodes"`
 	NodesPerSec float64 `json:"nodes_per_sec"`
 	Groups      int     `json:"groups"`
+	// SeqNodes is the node count of the same miner's Workers=1 cell;
+	// NodesOverheadRatio = Nodes/SeqNodes measures parallel
+	// overexploration (floor-propagation lag makes workers visit nodes
+	// a sequential run prunes). Only set on Workers>1 cells.
+	SeqNodes           int     `json:"seq_nodes,omitempty"`
+	NodesOverheadRatio float64 `json:"nodes_overhead_ratio,omitempty"`
 }
 
 // PerfConfig tunes the trajectory run. Zero fields take the defaults
@@ -87,6 +93,7 @@ func PerfTrajectory(ctx context.Context, w io.Writer, cfg PerfConfig) ([]PerfPoi
 
 	var out []PerfPoint
 	for _, miner := range cfg.Miners {
+		seqNodes := 0
 		for _, workers := range cfg.Workers {
 			opts := engine.Options{Minsup: ms, MaxNodes: cfg.Budget, Workers: workers}
 			if miner == "topk" {
@@ -124,6 +131,12 @@ func PerfTrajectory(ctx context.Context, w io.Writer, cfg PerfConfig) ([]PerfPoi
 			}
 			if miner == "topk" {
 				pt.K = cfg.K
+			}
+			if workers == 1 {
+				seqNodes = stats.Nodes
+			} else if seqNodes > 0 {
+				pt.SeqNodes = seqNodes
+				pt.NodesOverheadRatio = float64(stats.Nodes) / float64(seqNodes)
 			}
 			out = append(out, pt)
 			fmt.Fprintf(w, "%-12s %8d %14d %12d %12d %14.0f\n",

@@ -56,19 +56,29 @@ func (v *visitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
 	return engine.Threshold{}
 }
 
-// Fork returns a private collector for one first-level subtree; the
-// members map is shared read-only.
+// Fork returns a private collector for one worker; the members map is
+// shared read-only.
 func (v *visitor) Fork() engine.Visitor {
 	return &visitor{minsup: v.minsup, members: v.members}
 }
 
-// Join concatenates the forks' itemsets in first-level task order — the
+// Flush seals the itemsets collected since the last hand-off boundary;
+// every itemset already owns its memory (OnGroup copies), so handing
+// the slice to the merge side transfers ownership cleanly.
+func (v *visitor) Flush() any {
+	if len(v.out) == 0 {
+		return nil
+	}
+	out := v.out
+	v.out = nil
+	return out
+}
+
+// Merge appends one streamed batch. The engine delivers batches in
 // sequential discovery order (the final sort makes output order
 // canonical regardless, but determinism should not depend on it).
-func (v *visitor) Join(forks []engine.Visitor) {
-	for _, f := range forks {
-		v.out = append(v.out, f.(*visitor).out...)
-	}
+func (v *visitor) Merge(batch any) {
+	v.out = append(v.out, batch.([]ClosedItemset)...)
 }
 
 func (v *visitor) PruneBeforeScan(_ engine.Threshold, xp, xn, rp, rn int) bool {

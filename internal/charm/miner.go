@@ -14,6 +14,9 @@ type miner struct{}
 func (miner) Name() string { return "charm" }
 
 func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Result, engine.Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, engine.Stats{}, err
+	}
 	res, err := MineContext(ctx, d, Config{Minsup: opts.Minsup, MaxNodes: opts.MaxNodes})
 	if err != nil {
 		return nil, engine.Stats{}, err

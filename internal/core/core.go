@@ -304,8 +304,15 @@ type topkVisitor struct {
 	effMinsup int               // dynamically raised when DynamicMinsup
 
 	// floors is the cross-worker threshold board, non-nil only for
-	// parallel runs (Config.Workers > 1).
-	floors *engine.Floors
+	// parallel runs (Config.Workers > 1); floorConf/floorSup are the
+	// merge side's publication scratch for the speculative floors and
+	// frontConf/frontSup for the tie-prunable frontier channel (see
+	// publishFloors).
+	floors    *engine.Floors
+	floorConf []float64
+	floorSup  []int
+	frontConf []float64
+	frontSup  []int
 
 	// provisional single-item seeds: group -> item id, resolved after
 	// mining into their true upper bounds.
@@ -492,6 +499,7 @@ func (v *topkVisitor) expand(reps []int) []int {
 
 // OnGroup is Step 13: update the top-k lists of the covered rows.
 func (v *topkVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []int) {
+
 	if xp < v.cfg.Minsup {
 		return
 	}

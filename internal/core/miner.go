@@ -14,6 +14,9 @@ type miner struct{}
 func (miner) Name() string { return "topk" }
 
 func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Result, engine.Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, engine.Stats{}, err
+	}
 	cfg := DefaultConfig(opts.Minsup, opts.K)
 	cfg.MaxNodes = opts.MaxNodes
 	cfg.Workers = opts.EffectiveWorkers()

@@ -1,19 +1,36 @@
 // Parallel MineTopkRGS: the topkVisitor forks one workerVisitor per
-// first-level subtree of the row enumeration tree. Workers mine with
-// private cloned top-k lists (scratch state, later discarded), share
-// dynamic thresholds through an engine.Floors board, and record the
-// group events that survive their pruning. Join replays those events in
-// exact depth-first order through the sequential Step 13 logic, which
-// makes parallel output identical to sequential output:
+// work-stealing worker. Workers mine whatever subtrees the scheduler
+// hands them with private cloned top-k lists (scratch state, later
+// discarded) and record the group events that survive their pruning.
+// At every task hand-off boundary the engine seals those events into a
+// batch (Flush) and streams it back to the parent (Merge) at the
+// batch's sequential enumeration position, which makes parallel output
+// identical to sequential output:
 //
-//   - a worker only suppresses (prunes or drops) work that is strictly
-//     below a threshold published from a full top-k list — a valid
-//     lower bound of the final threshold of every covered row — so no
-//     member of any final list is ever suppressed (ties are kept);
+//   - a worker only suppresses (prunes or drops) work that the
+//     sequential run provably suppresses or rejects at the same
+//     position. All three suppression channels are anchored at known
+//     sequential positions at or before the current node: the merge
+//     frontier (the parent's lists, an exact sequential prefix before
+//     every in-flight task), the task baseline (the spawning worker's
+//     sound state captured at the task's splice position, see
+//     engine.Baseliner), and — while the worker is still sequentially
+//     exact, per the engine.Diverger contract — its own local lists.
+//     Speculative knowledge (another worker's lists, or this worker's
+//     own lists after divergence — state that may reflect sequentially
+//     LATER regions) must never suppress: a group strictly below every
+//     FINAL threshold can still be admitted sequentially and displaced
+//     later, and while it sits in a list it blocks tie admissions, so
+//     dropping it would change which of two tie-valued groups survives;
 //   - every surviving event is replayed through the unmodified
 //     sequential list update at its sequential position, so extra
-//     events a sequential run would have pruned are rejected the same
-//     way the sequential run rejects them.
+//     events a sequential run would have rejected are rejected the
+//     same way, in the same order.
+//
+// Because the merge runs while mining is in flight, the parent's lists
+// tighten during the run; Merge publishes their thresholds back to the
+// floors board, which is what closes the floor-propagation lag behind
+// the old full-replay barrier.
 package core
 
 import (
@@ -24,39 +41,92 @@ import (
 	"repro/internal/rules"
 )
 
-// Fork returns the private visitor for one first-level subtree: cloned
-// per-row lists seeded with everything known at dispatch time, the
-// parent's current effective minsup, and a snapshot of the shared
-// threshold board.
+// Fork returns the private visitor for one worker: cloned per-row
+// lists seeded with everything known at dispatch time, the parent's
+// current effective minsup, and a snapshot of the shared threshold
+// board. The fork lives for the whole run and accumulates threshold
+// knowledge across every task its worker executes.
 func (v *topkVisitor) Fork() engine.Visitor {
 	w := &workerVisitor{
-		parent:    v,
-		cfg:       v.cfg,
-		effMinsup: v.effMinsup,
-		floors:    v.floors,
-		lists:     make([]*rules.TopKList, len(v.lists)),
-		floorConf: make([]float64, len(v.lists)),
-		floorSup:  make([]int, len(v.lists)),
+		parent:      v,
+		cfg:         v.cfg,
+		effMinsup:   v.effMinsup,
+		boardMinsup: v.effMinsup,
+		floors:      v.floors,
+		lists:       make([]*rules.TopKList, len(v.lists)),
+		floorConf:   make([]float64, len(v.lists)),
+		floorSup:    make([]int, len(v.lists)),
+		frontConf:   make([]float64, len(v.lists)),
+		frontSup:    make([]int, len(v.lists)),
+		baseConf:    make([]float64, len(v.lists)),
+		baseSup:     make([]int, len(v.lists)),
+		exact:       true,
 	}
 	for p, l := range v.lists {
 		w.lists[p] = l.Clone()
 	}
-	if w.floors != nil {
-		w.floors.Sync(w.floorConf, w.floorSup)
-	}
 	return w
 }
 
-// Join replays every fork's recorded events, in first-level task order,
-// through the sequential Step 13 logic. The forks' own lists are
-// scratch and die here; only the replay mutates v.lists.
-func (v *topkVisitor) Join(forks []engine.Visitor) {
-	for _, f := range forks {
-		w := f.(*workerVisitor)
-		for _, ev := range w.events {
-			items := ev.items
-			conf := float64(ev.xp) / float64(ev.xp+ev.xn)
-			v.apply(func() []int { return items }, ev.rows, conf, ev.xp, ev.xPos)
+// Merge replays one sealed event batch through the sequential Step 13
+// logic. The engine calls it on the dispatching goroutine in exact
+// sequential order, so v.lists evolve exactly as a sequential run's
+// would; afterwards the freshly tightened thresholds are published to
+// the floors board so in-flight workers prune with them.
+func (v *topkVisitor) Merge(batch any) {
+	for _, ev := range batch.([]groupEvent) {
+		items := ev.items
+		conf := float64(ev.xp) / float64(ev.xp+ev.xn)
+		v.apply(func() []int { return items }, ev.rows, conf, ev.xp, ev.xPos)
+	}
+	v.publishFloors()
+}
+
+// publishFloors pushes the thresholds of the parent's full lists to the
+// cross-worker board. The frontier channel (PublishFrontier) carries
+// the parent's thresholds verbatim: the parent's lists hold the exact
+// sequential state up to the merge frontier — a position before every
+// in-flight task — so workers may prune threshold TIES against them,
+// exactly as the sequential run prunes ties against its own current
+// lists. Tie-pruning is what keeps parallel node counts close to
+// sequential on tie-dense datasets. The speculative channel (Sync)
+// feeds progress reporting only.
+func (v *topkVisitor) publishFloors() {
+	if v.floors == nil {
+		return
+	}
+	if v.floorConf == nil {
+		v.floorConf = make([]float64, len(v.lists))
+		v.floorSup = make([]int, len(v.lists))
+		v.frontConf = make([]float64, len(v.lists))
+		v.frontSup = make([]int, len(v.lists))
+	}
+	changed := false
+	for p, l := range v.lists {
+		if l.Len() < l.K() {
+			continue
+		}
+		c, s := l.Threshold()
+		v.frontConf[p], v.frontSup[p] = c, s // monotone: thresholds only tighten
+		if cmp := rules.CompareConf(c, v.floorConf[p]); cmp > 0 || (cmp == 0 && s > v.floorSup[p]) {
+			v.floorConf[p], v.floorSup[p] = c, s
+			changed = true
+		}
+	}
+	if changed {
+		v.floors.Sync(v.floorConf, v.floorSup)
+	}
+	v.floors.PublishFrontier(v.frontConf, v.frontSup)
+	// The sequential dynamic-minsup raise (with its +1: strictly better
+	// supports only) is also a frontier fact, so it rides the same board.
+	// The frontier precedes every in-flight task in sequential order, and
+	// from the moment the raise condition holds, the sequential run
+	// rejects every group at or below the k-th support — so cutting their
+	// subtrees loses nothing the replay needs.
+	if v.cfg.DynamicMinsup {
+		v.maybeRaiseMinsup()
+		if v.effMinsup > v.cfg.Minsup {
+			v.floors.RaiseMinsup(v.effMinsup)
 		}
 	}
 }
@@ -72,54 +142,146 @@ type groupEvent struct {
 }
 
 // syncInterval is how many nodes a worker mines between exchanges with
-// the shared floors board. Small enough that one worker's full lists
-// sharpen the others within a subtree, large enough that the mutex
-// stays off the hot path.
+// the shared floors board. Small enough that the streaming parent's
+// frontier sharpens in-flight workers within a subtree, large enough
+// that the mutex stays off the hot path.
 const syncInterval = 4
 
-// workerVisitor mines one first-level subtree on a worker goroutine. It
-// owns every mutable structure it touches; the only shared state is the
-// read-only parent (cfg, members) and the mutex-guarded floors board.
+// taskBaseline is the engine.Baseliner payload: the spawning worker's
+// tightest sound per-row thresholds and support cut, captured at the
+// offloaded task's splice position. Everything in it is justified at
+// that position, which sequentially precedes every node of the task.
+type taskBaseline struct {
+	conf   []float64
+	sup    []int
+	minsup int
+}
+
+// workerVisitor mines subtrees on one worker goroutine. It owns every
+// mutable structure it touches; the only shared state is the read-only
+// parent (cfg, members) and the mutex-guarded floors board.
 type workerVisitor struct {
 	parent *topkVisitor
 	cfg    Config
 
 	// lists are clones of the parent's per-row lists, evolved privately
-	// with this subtree's events. Their thresholds prune locally and are
-	// published to floors when full; the lists are discarded at Join.
+	// with the events of every subtree this worker mines. While the
+	// worker is exact they are a sequential-prefix state and prune;
+	// afterwards they only feed the progress floors. They are discarded
+	// when the run ends.
 	lists []*rules.TopKList
-	// effMinsup starts from the parent's fork-time value; worker raises
-	// go to the minimum k-th support (without the sequential +1: a +1
-	// would prune support ties that the sequential run keeps, and tie
-	// rejection is replay's job).
-	effMinsup int
+	// effMinsup is the operative support cut: the tightest of the
+	// board's frontier-rooted raise (boardMinsup), the current task's
+	// baseline cut, and — while exact — the worker's own sequential
+	// raise. The self-raise and the baseline are justified only at this
+	// task's positions, so AdoptBaseline resets effMinsup for each
+	// task; carrying either into a task that splices earlier could cut
+	// groups the sequential run admits (and later displaces), changing
+	// which of two tie-valued groups survives.
+	effMinsup   int
+	boardMinsup int
 
-	// floors is the shared board; floorConf/floorSup are this worker's
-	// snapshot of it, refreshed by periodic Sync calls.
+	// floors is the shared board. frontConf/frontSup snapshot its merge
+	// frontier; baseConf/baseSup hold the current task's baseline; both
+	// are sound suppression channels (anchored before this task), and
+	// floorConf/floorSup are publish scratch for the speculative
+	// progress channel. The per-node minimum over the sound channels
+	// rides in the Threshold snapshot UpdateThresholds returns, so
+	// deferred sibling prunes see the thresholds of the node that
+	// deferred them, exactly like the sequential engine.
 	floors    *engine.Floors
 	floorConf []float64
 	floorSup  []int
+	frontConf []float64
+	frontSup  []int
+	baseConf  []float64
+	baseSup   []int
+
+	// exact is true while everything in this worker's lists precedes
+	// the current node in sequential order — the whole first task, per
+	// the engine.Diverger contract. While exact, the local lists ARE a
+	// sequential-prefix state, so the worker prunes ties against them
+	// and raises minsup with the sequential +1, exactly like the
+	// sequential engine. A run that never splits (e.g. no worker ever
+	// goes idle) therefore explores exactly the sequential node set.
+	exact bool
 
 	updateCalls int
 	events      []groupEvent
 }
 
-// thresholdAt returns row p's pruning threshold: the stronger of the
-// local list's and the floor snapshot's.
-func (w *workerVisitor) thresholdAt(p int) (float64, int) {
-	c, s := w.lists[p].Threshold()
-	if cmp := rules.CompareConf(w.floorConf[p], c); cmp > 0 || (cmp == 0 && w.floorSup[p] > s) {
-		return w.floorConf[p], w.floorSup[p]
+// Diverge implements engine.Diverger: from the second task on, the
+// worker's lists may contain events from sequentially-later regions,
+// so sequential-exact tie pruning must stop — and since the next task
+// may splice earlier than the nodes that justified a self-raise, the
+// support cut falls back to the frontier-rooted board value, which
+// precedes every task the worker can still receive.
+func (w *workerVisitor) Diverge() {
+	w.exact = false
+	w.effMinsup = w.boardMinsup
+}
+
+// TaskBaseline implements engine.Baseliner: called at offload time on
+// this worker's goroutine, it captures the tightest thresholds the
+// worker may currently suppress with. They are all justified at the
+// worker's current position — exactly the offloaded task's splice
+// position — so the executor may suppress against them anywhere in the
+// task. This is what hands accumulated pruning power across a steal:
+// without it a thief starts every subtree from the merge frontier
+// alone, and on tie-dense trees over-explores by large factors.
+func (w *workerVisitor) TaskBaseline() any {
+	n := len(w.lists)
+	b := &taskBaseline{
+		conf:   make([]float64, n),
+		sup:    make([]int, n),
+		minsup: w.effMinsup,
 	}
-	return c, s
+	for p := 0; p < n; p++ {
+		b.conf[p], b.sup[p] = w.soundAt(p)
+	}
+	return b
+}
+
+// AdoptBaseline implements engine.Baseliner: installs the spawner's
+// baseline for the task about to start, REPLACING the previous task's
+// (splice positions do not grow with execution order, so the old
+// baseline may be unsound here). A nil baseline (the root task) resets
+// to the board state.
+func (w *workerVisitor) AdoptBaseline(v any) {
+	if b, ok := v.(*taskBaseline); ok {
+		copy(w.baseConf, b.conf)
+		copy(w.baseSup, b.sup)
+		w.effMinsup = b.minsup
+	} else {
+		for p := range w.baseConf {
+			w.baseConf[p], w.baseSup[p] = 0, 0
+		}
+		w.effMinsup = w.boardMinsup
+	}
+	if w.boardMinsup > w.effMinsup {
+		w.effMinsup = w.boardMinsup
+	}
+}
+
+// Flush seals the buffered events into a batch for the parent's Merge.
+// The engine calls it on this worker's goroutine at task hand-off
+// boundaries, so a batch never straddles an offloaded child's splice
+// position. Ownership of the slice transfers to the merge side.
+func (w *workerVisitor) Flush() any {
+	if len(w.events) == 0 {
+		return nil
+	}
+	evs := w.events
+	w.events = nil
+	return evs
 }
 
 // syncFloors publishes the thresholds of full local lists to the shared
-// board and refreshes the snapshot. Only full lists publish: a non-full
-// list's threshold is (0,0) by construction, and a full list's k-th
-// entry is a genuine group of every covered row, so its threshold can
-// only underestimate the row's final one — exactly what makes the board
-// safe to prune with.
+// board's progress channel, refreshes the frontier snapshot, and adopts
+// the board's frontier-rooted minsup raise. Only full lists publish: a
+// non-full list's threshold is (0,0) by construction, and a full list's
+// k-th entry is a genuine group of every covered row, so its threshold
+// can only underestimate the row's final one.
 func (w *workerVisitor) syncFloors() {
 	if w.floors == nil {
 		return
@@ -134,16 +296,44 @@ func (w *workerVisitor) syncFloors() {
 		}
 	}
 	w.floors.Sync(w.floorConf, w.floorSup)
+	w.floors.Frontier(w.frontConf, w.frontSup)
+	if m := w.floors.Minsup(); m > w.boardMinsup {
+		w.boardMinsup = m
+	}
+	if w.boardMinsup > w.effMinsup {
+		w.effMinsup = w.boardMinsup
+	}
 }
 
-// UpdateThresholds mirrors the sequential Step 8 scan, but each row's
-// threshold also consults the floors snapshot, so one worker's full
-// lists sharpen every other worker's pruning.
+// soundAt returns the tightest threshold this worker may suppress
+// against on row p: the best of the merge frontier, the task baseline,
+// and — while exact — its own list. Each channel is anchored at a
+// sequential position at or before the current node, so their per-row
+// maximum is never ahead of the sequential run's own threshold here.
+func (w *workerVisitor) soundAt(p int) (float64, int) {
+	c, s := w.frontConf[p], w.frontSup[p]
+	if bc, bs := w.baseConf[p], w.baseSup[p]; bc > c || (bc == c && bs > s) {
+		c, s = bc, bs
+	}
+	if w.exact {
+		if lc, ls := w.lists[p].Threshold(); lc > c || (lc == c && ls > s) {
+			c, s = lc, ls
+		}
+	}
+	return c, s
+}
+
+// UpdateThresholds mirrors the sequential Step 8 scan over the
+// worker's sound per-row thresholds. The returned minimum rides in the
+// engine's per-node snapshot, so sibling prunes deferred past a
+// recursion stay anchored at this node's position — the same snapshot
+// discipline the sequential engine applies, and the reason the
+// soundness argument survives the worker's exact flag flipping between
+// the scan and a deferred prune.
 func (w *workerVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
 	w.updateCalls++
-	// Forks are built before any worker starts, so the snapshot taken at
-	// fork time is stale by the time a late task runs: refresh on the
-	// first node, then every syncInterval nodes.
+	// The fork-time snapshot goes stale as the merge frontier advances:
+	// refresh on the first node, then every syncInterval nodes.
 	if w.updateCalls == 1 || w.updateCalls%syncInterval == 0 {
 		w.syncFloors()
 		if w.cfg.DynamicMinsup {
@@ -157,8 +347,7 @@ func (w *workerVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
 	minS := math.MaxInt
 	scan := func(rs []int) {
 		for _, p := range rs {
-			c, s := w.thresholdAt(p)
-			if c < minC || (c == minC && s < minS) {
+			if c, s := w.soundAt(p); c < minC || (c == minC && s < minS) {
 				minC, minS = c, s
 			}
 		}
@@ -171,11 +360,17 @@ func (w *workerVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
 	return engine.Threshold{Conf: minC, Sup: minS}
 }
 
-// maybeRaiseMinsup is the worker form of the dynamic support raise:
-// when every local list is full at 100% confidence, supports strictly
-// below the smallest k-th support cannot qualify anywhere. Unlike the
-// sequential raise there is no +1 — ties must survive to replay.
+// maybeRaiseMinsup is the worker form of the dynamic support raise. It
+// only fires while the worker is sequentially exact: then the local
+// lists are a sequential-prefix state, the raise (with the sequential
+// +1) is exactly what the sequential run would do at this node, and
+// every group it cuts is one the sequential run rejects from here on.
+// After divergence the lists may reflect out-of-order regions and the
+// worker relies on the board's and the baseline's raises instead.
 func (w *workerVisitor) maybeRaiseMinsup() {
+	if !w.exact {
+		return
+	}
 	minKthSup := math.MaxInt
 	for _, l := range w.lists {
 		if l.Len() < l.K() {
@@ -189,24 +384,16 @@ func (w *workerVisitor) maybeRaiseMinsup() {
 			minKthSup = s
 		}
 	}
+	minKthSup++
 	if minKthSup > w.effMinsup {
 		w.effMinsup = minKthSup
 	}
 }
 
-// qualifiesTieOK is the worker form of qualifies: a subtree survives
-// unless its upper bound is strictly below the threshold. Workers may
-// hold thresholds that the sequential run only reaches later, so the
-// tie case — which sequential pruning cuts — must be kept here and left
-// to replay-time rejection.
-func qualifiesTieOK(th engine.Threshold, ubConf float64, ubSup int) bool {
-	if c := rules.CompareConf(ubConf, th.Conf); c != 0 {
-		return c > 0
-	}
-	return ubSup >= th.Sup
-}
-
-// PruneBeforeScan is Step 9 with tie-keeping bounds.
+// PruneBeforeScan is Step 9 with the sequential tie-cutting bound: the
+// snapshot's thresholds are never ahead of the sequential run at this
+// node, so whatever this cuts — ties included — the sequential run
+// cuts too.
 func (w *workerVisitor) PruneBeforeScan(th engine.Threshold, xp, xn, rp, rn int) bool {
 	ubSup := xp + rp
 	if ubSup < w.effMinsup {
@@ -216,10 +403,10 @@ func (w *workerVisitor) PruneBeforeScan(th engine.Threshold, xp, xn, rp, rn int)
 		return false
 	}
 	ubConf := float64(ubSup) / float64(ubSup+xn)
-	return !qualifiesTieOK(th, ubConf, ubSup)
+	return !qualifies(th, ubConf, ubSup)
 }
 
-// PruneAfterScan is Step 11 with tie-keeping bounds.
+// PruneAfterScan is Step 11 with the same bound as PruneBeforeScan.
 func (w *workerVisitor) PruneAfterScan(th engine.Threshold, xp, xn, mp, rn int) bool {
 	ubSup := xp + mp
 	if ubSup < w.effMinsup {
@@ -229,22 +416,27 @@ func (w *workerVisitor) PruneAfterScan(th engine.Threshold, xp, xn, mp, rn int) 
 		return false
 	}
 	ubConf := float64(ubSup) / float64(ubSup+xn)
-	return !qualifiesTieOK(th, ubConf, ubSup)
+	return !qualifies(th, ubConf, ubSup)
 }
 
-// OnGroup records the event for replay unless it is strictly below the
-// threshold of every covered row (in which case no final list can ever
-// admit it), and mirrors the sequential list update on the local clones
-// so the worker's own thresholds keep tightening.
+// OnGroup records the event for replay unless the replay provably
+// rejects it, and mirrors the sequential list update on the local
+// clones so the worker's own thresholds keep tightening while exact.
 func (w *workerVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []int) {
 	if xp < w.cfg.Minsup {
 		return
 	}
 	conf := float64(xp) / float64(xp+xn)
+	// Strict filter against the sound per-row thresholds: replay-time
+	// thresholds are at least these, and apply only admits groups that
+	// strictly beat some covered row's threshold — an event that cannot
+	// do so now never will. No speculative source may join the filter: a
+	// group strictly below a FINAL threshold can still be admitted at
+	// replay time and block a tie while it lasts.
 	keep := false
 	for _, p := range xPos {
-		c, s := w.thresholdAt(p)
-		if cmp := rules.CompareConf(conf, c); cmp > 0 || (cmp == 0 && xp >= s) {
+		c, s := w.soundAt(p)
+		if cmp := rules.CompareConf(conf, c); cmp > 0 || (cmp == 0 && xp > s) {
 			keep = true
 			break
 		}
@@ -254,7 +446,7 @@ func (w *workerVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos 
 	}
 	// Everything the engine passed aliases its arena; the recorded event
 	// must own its data (expansion copies items, rows and xPos are copied
-	// here), so replay never needs the worker — or the arena — alive.
+	// here), so the batch never needs the worker — or the arena — alive.
 	ev := groupEvent{
 		items: w.parent.expand(items),
 		rows:  rows.Clone(),

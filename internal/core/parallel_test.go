@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -174,6 +175,50 @@ func TestMineContextDeadline(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 5*time.Second {
 		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestParallelNodeOverheadBounded pins parallel search efficiency:
+// workers prune with thresholds that lag the sequential ones (merge
+// frontier, task baselines, exact-prefix lists), so they explore extra
+// nodes, but the propagation machinery must keep that overexploration
+// small. The perf trajectory records the same ratio as
+// nodes_overhead_ratio on the fig6 PC profile; 1.5 is the regression
+// wall. Individual runs can overshoot on an unlucky schedule —
+// concurrent sibling subtrees only see each other's thresholds once the
+// merge frontier reaches them — so each worker count gets the best of
+// three runs: a real propagation regression (historically 3-39x) fails
+// every schedule, noise does not.
+func TestParallelNodeOverheadBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	d := wideDataset(r, 24, 30)
+	cfg := DefaultConfig(2, 2)
+	seq, err := Mine(d, 0, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Stats.Nodes < 100 {
+		t.Fatalf("dataset too small to measure overexploration: %d nodes", seq.Stats.Nodes)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		cfg.Workers = workers
+		best := math.Inf(1)
+		for trial := 0; trial < 3; trial++ {
+			par, err := Mine(d, 0, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ratio := float64(par.Stats.Nodes) / float64(seq.Stats.Nodes)
+			t.Logf("workers=%d trial %d: %d nodes vs %d sequential (ratio %.3f)",
+				workers, trial, par.Stats.Nodes, seq.Stats.Nodes, ratio)
+			if ratio < best {
+				best = ratio
+			}
+		}
+		if best > 1.5 {
+			t.Errorf("workers=%d: best node overhead ratio %.3f > 1.5: threshold propagation regressed",
+				workers, best)
+		}
 	}
 }
 

@@ -27,14 +27,19 @@ func (v *minsupVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos 
 	v.groups++
 }
 
-// parMinsupVisitor adds Fork/Join so the same visitor drives the
-// parallel mode; forks count privately and Join folds the counts.
+// parMinsupVisitor adds Fork/Merge so the same visitor drives the
+// parallel mode. The group count is a commutative aggregate, so the
+// forks buffer nothing (no Flusher: the scheduler streams only child
+// splices) and the counts fold through JoinWorkers after quiescence.
 type parMinsupVisitor struct {
 	minsupVisitor
 }
 
-func (v *parMinsupVisitor) Fork() Visitor { return &parMinsupVisitor{v.minsupVisitor} }
-func (v *parMinsupVisitor) Join(forks []Visitor) {
+func (v *parMinsupVisitor) Fork() Visitor {
+	return &parMinsupVisitor{minsupVisitor{minsup: v.minsup}}
+}
+func (v *parMinsupVisitor) Merge(batch any) {}
+func (v *parMinsupVisitor) JoinWorkers(forks []Visitor) {
 	for _, f := range forks {
 		v.groups += f.(*parMinsupVisitor).groups
 	}

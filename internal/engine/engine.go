@@ -15,12 +15,19 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sort"
 	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/rules"
 )
+
+// ErrBadWorkers reports an Options.Workers value that no worker pool
+// can honor (negative). Match with errors.Is; the facade maps its own
+// AllCores marker before options ever reach the engine.
+var ErrBadWorkers = errors.New("engine: negative worker count")
 
 // Stats counts the work performed by one mining run.
 type Stats struct {
@@ -85,8 +92,9 @@ type Options struct {
 	// returned.
 	MaxNodes int
 	// Workers sets the worker count for miners with a parallel mode;
-	// 0 means GOMAXPROCS, 1 forces sequential execution. Parallel output
-	// is deterministically identical to sequential output.
+	// 0 means GOMAXPROCS, 1 forces sequential execution, negative
+	// values are rejected by Validate with ErrBadWorkers. Parallel
+	// output is deterministically identical to sequential output.
 	Workers int
 	// Variant selects a miner-specific engine implementation (farmer:
 	// "bitset", "prefix", "naive"; empty = the miner's default).
@@ -108,6 +116,16 @@ type Options struct {
 	DisableBackwardPruning bool
 	DisableRowSort         bool
 	DisableDynamicMinsup   bool
+}
+
+// Validate rejects option values no miner can honor. Every registered
+// miner calls it at the top of Mine, so a bad value fails fast with a
+// matchable sentinel instead of silently falling back to a default.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Workers=%d (use 0 for GOMAXPROCS)", ErrBadWorkers, o.Workers)
+	}
+	return nil
 }
 
 // EffectiveWorkers resolves the Workers default (0 = GOMAXPROCS).

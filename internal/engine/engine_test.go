@@ -35,18 +35,26 @@ func (c *collector) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []in
 	})
 }
 
-// parCollector adds Fork/Join so the collector can drive the parallel
-// mode: forks record privately and Join splices their groups back in
-// subtree order, which must reproduce the sequential event order.
+// parCollector adds Fork/Flush/Merge so the collector can drive the
+// parallel mode: forks record privately, the scheduler seals their
+// batches at task hand-off boundaries and streams them back in
+// sequential enumeration order, which must reproduce the sequential
+// event order exactly.
 type parCollector struct {
 	collector
 }
 
 func (c *parCollector) Fork() Visitor { return &parCollector{} }
-func (c *parCollector) Join(forks []Visitor) {
-	for _, f := range forks {
-		c.groups = append(c.groups, f.(*parCollector).groups...)
+func (c *parCollector) Flush() any {
+	if len(c.groups) == 0 {
+		return nil
 	}
+	gs := c.groups
+	c.groups = nil
+	return gs
+}
+func (c *parCollector) Merge(batch any) {
+	c.groups = append(c.groups, batch.([]collected)...)
 }
 
 // enumeratorFor builds an enumerator over the running example with

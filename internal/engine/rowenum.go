@@ -66,8 +66,12 @@ type Enumerator struct {
 	// but possibly incomplete.
 	MaxNodes int
 	// Workers > 1 enables the parallel mode when the Visitor implements
-	// ParallelVisitor: first-level subtrees are dispatched to a worker
-	// pool and merged deterministically. <= 1 runs sequentially.
+	// ParallelVisitor: subtrees are mined by a work-stealing worker
+	// pool (per-worker deques, steal-half) with adaptive task
+	// generation — a subtree is split off only while some worker is
+	// idle — and event batches are merged back in sequential
+	// enumeration order while mining is in flight. <= 1 runs
+	// sequentially.
 	Workers int
 	// Progress, when non-nil, receives ProgressSnapshots every
 	// ProgressEvery nodes (0 = DefaultProgressEvery) plus one final
@@ -81,6 +85,7 @@ type Enumerator struct {
 	sp     spawner
 	stats  Stats
 	prog   *progressSampler
+	sched  *scheduler // parallel mode: retained across Runs (arenas, pools)
 
 	// scratch is this goroutine's arena; rowItems is the transposed
 	// item index (row id -> items whose support contains the row), built
@@ -90,10 +95,11 @@ type Enumerator struct {
 }
 
 // spawner receives the surviving children of a node. The sequential
-// mode is the Enumerator itself (direct recursion); the parallel root
-// visit collects tasks instead. Tasks handed to spawn alias arena
-// buffers (x, items, cand): an implementation that retains a task
-// beyond the call must deep-copy those three fields.
+// mode is the Enumerator itself (direct recursion); parallel workers
+// decide per child between inline recursion and offloading to their
+// deque. Tasks handed to spawn alias arena buffers (x, items, cand):
+// an implementation that retains a task beyond the call must deep-copy
+// those three fields (the deque hand-off does exactly that).
 type spawner interface {
 	spawn(t task) error
 }
@@ -110,6 +116,12 @@ type task struct {
 	cand    []int
 	minNext int
 	depth   int
+	// first marks a node's first surviving child. The parallel spawner
+	// keeps it inline: mining it before offloading its siblings lets the
+	// sibling tasks carry the first subtree's accumulated thresholds in
+	// their baselines (see Baseliner), the way sequential DFS carries
+	// them across siblings.
+	first bool
 }
 
 // Run enumerates starting from the given alive item list (the frequent
@@ -333,6 +345,7 @@ func (e *Enumerator) visitNode(t task) error {
 	childX := childLv.xSet()
 	childMask := lv.childMaskSet()
 	posLeft := mp
+	firstChild := true
 	for i, r := range survivors {
 		childXp, childXn := xp, xn
 		if r < e.NumPos {
@@ -355,9 +368,11 @@ func (e *Enumerator) visitNode(t task) error {
 		childX.Add(r)
 		if err := e.sp.spawn(task{
 			x: childX, items: childItems, cand: survivors[i+1:], minNext: r + 1, depth: t.depth + 1,
+			first: firstChild,
 		}); err != nil {
 			return err
 		}
+		firstChild = false
 	}
 	return nil
 }

@@ -226,9 +226,8 @@ func (v *staticVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
 	return engine.Threshold{}
 }
 
-// Fork returns a private visitor for one first-level subtree: the
-// thresholds are static, so workers share nothing but read-only
-// configuration.
+// Fork returns a private visitor for one worker: the thresholds are
+// static, so workers share nothing but read-only configuration.
 func (v *staticVisitor) Fork() engine.Visitor {
 	return &staticVisitor{
 		minsup: v.minsup, minconf: v.minconf, minchi: v.minchi,
@@ -236,12 +235,23 @@ func (v *staticVisitor) Fork() engine.Visitor {
 	}
 }
 
-// Join concatenates the forks' groups in first-level task order, which
-// is exactly the order a sequential run discovers them in.
-func (v *staticVisitor) Join(forks []engine.Visitor) {
-	for _, f := range forks {
-		v.groups = append(v.groups, f.(*staticVisitor).groups...)
+// Flush seals the groups collected since the last hand-off boundary;
+// each group already owns its antecedent and rows (OnGroup copies), so
+// the slice transfers to the merge side without aliasing the worker.
+func (v *staticVisitor) Flush() any {
+	if len(v.groups) == 0 {
+		return nil
 	}
+	gs := v.groups
+	v.groups = nil
+	return gs
+}
+
+// Merge appends one streamed batch; the engine delivers batches in
+// sequential discovery order, which is exactly the order a sequential
+// run appends groups in.
+func (v *staticVisitor) Merge(batch any) {
+	v.groups = append(v.groups, batch.([]*rules.Group)...)
 }
 
 func (v *staticVisitor) PruneBeforeScan(_ engine.Threshold, xp, xn, rp, rn int) bool {

@@ -16,6 +16,9 @@ type miner struct{}
 func (miner) Name() string { return "farmer" }
 
 func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Result, engine.Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, engine.Stats{}, err
+	}
 	cfg := Config{
 		Minsup:        opts.Minsup,
 		Minconf:       opts.Minconf,

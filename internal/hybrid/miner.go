@@ -14,6 +14,9 @@ type miner struct{}
 func (miner) Name() string { return "hybrid" }
 
 func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Result, engine.Stats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, engine.Stats{}, err
+	}
 	cfg := Config{
 		K:                opts.K,
 		Minsup:           opts.Minsup,

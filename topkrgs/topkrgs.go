@@ -129,9 +129,11 @@ type MineOptions struct {
 	// paper's setting).
 	K int
 	// Workers sets the enumeration worker count: 1 (and 0) runs
-	// sequentially; N > 1 mines first-level subtrees on N goroutines;
-	// AllCores uses every CPU. Parallel output is deterministically
-	// identical to sequential.
+	// sequentially; N > 1 mines on N work-stealing goroutines that
+	// split subtrees adaptively (idle workers steal queued subtrees,
+	// busy runs stay inline) while a streaming merge replays results in
+	// sequential order; AllCores uses every CPU. Parallel output is
+	// deterministically identical to sequential at every worker count.
 	Workers int
 	// MaxNodes caps enumeration nodes (0 = unbounded); when exceeded
 	// the run returns its partial result with Stats.Aborted set.
