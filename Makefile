@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet analyze analyze-json test race bench perf speedup experiments fuzz serve clean
+.PHONY: all build vet analyze analyze-json test race bench perf speedup loadbench experiments fuzz serve clean
 
 all: build vet analyze test
 
@@ -52,6 +52,15 @@ perf: speedup
 # CI enforces it.
 speedup:
 	$(GO) run ./cmd/benchrunner -exp speedup -scale 15 -minsups 0.7 -k 60 -assert-speedup 1.0
+
+# Serving read-path trajectory: closed- and open-loop load against an
+# in-process server (rule-major batch kernel + prediction cache),
+# archived as BENCH_serving.json. The gate fails the run when any
+# (mode, batch) cell's p99 latency exceeds 1.5x its archived value —
+# compare the JSON against the checked-in copy to judge a read-path
+# change, like `make perf` for the mining kernel.
+loadbench:
+	$(GO) run ./cmd/loadgen -scale 30 -requests 200 -concurrency 4 -qps 200 -gate 1.5
 
 # Paper-scale regeneration of every table and figure into results/.
 experiments:

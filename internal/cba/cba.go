@@ -229,6 +229,9 @@ func coverageSelect(d *dataset.Dataset, sorted []*rules.Rule) ([]*rules.Rule, []
 
 // Predict classifies a test row (as an item bitset). usedDefault
 // reports whether no rule matched and the default class was used.
+// The walk is allocation-free and safe for concurrent use.
+//
+//vet:allocfree
 func (c *Classifier) Predict(rowItems *bitset.Set) (label dataset.Label, usedDefault bool) {
 	for _, r := range c.Rules {
 		if r.Matches(rowItems) {
@@ -240,11 +243,15 @@ func (c *Classifier) Predict(rowItems *bitset.Set) (label dataset.Label, usedDef
 
 // PredictDataset classifies every row of a (discretized) dataset and
 // returns predicted labels plus the count of default-class decisions.
+// The row item set is rebuilt into one reused scratch, so the loop
+// performs no per-row allocations.
 func (c *Classifier) PredictDataset(d *dataset.Dataset) ([]dataset.Label, int) {
 	out := make([]dataset.Label, d.NumRows())
 	defaults := 0
+	rowItems := bitset.New(d.NumItems())
 	for r := 0; r < d.NumRows(); r++ {
-		lab, usedDef := c.Predict(d.RowItemSet(r))
+		d.RowItemSetInto(r, rowItems)
+		lab, usedDef := c.Predict(rowItems)
 		out[r] = lab
 		if usedDef {
 			defaults++

@@ -231,6 +231,18 @@ func (d *Dataset) RowItemSet(r int) *bitset.Set {
 	return s
 }
 
+// RowItemSetInto overwrites s (a set over the item universe) with row
+// r's items — the reusable-scratch form of RowItemSet prediction loops
+// use to stay allocation-free across rows.
+//
+//vet:allocfree
+func (d *Dataset) RowItemSetInto(r int, s *bitset.Set) {
+	s.Clear()
+	for _, it := range d.Rows[r] {
+		s.Add(it)
+	}
+}
+
 // SupportSet returns R(A): the set of rows containing every item in A.
 // A nil or empty A yields all rows.
 func (d *Dataset) SupportSet(items []int) *bitset.Set {

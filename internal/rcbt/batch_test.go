@@ -1,0 +1,272 @@
+package rcbt
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/rules"
+	"repro/internal/synth"
+)
+
+// randomClassifier builds a classifier directly (bypassing Train) so
+// the oracle can exercise shapes training rarely emits: score ties,
+// rules with zero-count classes, standby-only matches, empty subs.
+func randomClassifier(rng *rand.Rand, numItems, numClasses, numSubs int) *Classifier {
+	classCount := make([]int, numClasses)
+	for cls := range classCount {
+		classCount[cls] = rng.Intn(20) // zero counts allowed: score 0 paths
+	}
+	c := &Classifier{
+		def:        dataset.Label(rng.Intn(numClasses)),
+		classCount: classCount,
+		numClasses: numClasses,
+	}
+	for j := 0; j < numSubs; j++ {
+		sub := subClassifier{norm: make([]float64, numClasses)}
+		numRules := 1 + rng.Intn(6)
+		for ri := 0; ri < numRules; ri++ {
+			antLen := 1 + rng.Intn(4)
+			seen := map[int]bool{}
+			var ant []int
+			for len(ant) < antLen {
+				it := rng.Intn(numItems)
+				if !seen[it] {
+					seen[it] = true
+					ant = append(ant, it)
+				}
+			}
+			// Coarse support/confidence grids force frequent exact score
+			// ties across rules and classes.
+			r := &rules.Rule{
+				Antecedent: ant,
+				Class:      dataset.Label(rng.Intn(numClasses)),
+				Support:    1 + rng.Intn(4),
+				Confidence: float64(1+rng.Intn(4)) / 4,
+			}
+			sub.rules = append(sub.rules, r)
+			sub.norm[int(r.Class)] += score(r, classCount)
+		}
+		c.subs = append(c.subs, sub)
+	}
+	return c
+}
+
+// randomRows yields rows with a mix of densities, including empty rows
+// (default-class path) and near-full rows (many rules match).
+func randomRows(rng *rand.Rand, n, numItems int) []*bitset.Set {
+	rows := make([]*bitset.Set, n)
+	for i := range rows {
+		rows[i] = bitset.New(numItems)
+		switch rng.Intn(4) {
+		case 0: // empty: falls through every sub-classifier
+		case 1: // dense
+			for it := 0; it < numItems; it++ {
+				if rng.Intn(4) > 0 {
+					rows[i].Add(it)
+				}
+			}
+		default: // sparse
+			for k := 0; k < 1+rng.Intn(5); k++ {
+				rows[i].Add(rng.Intn(numItems))
+			}
+		}
+	}
+	return rows
+}
+
+// TestBatchScorerOracleRandom: PredictInto must deep-equal the scalar
+// Predict on every row, across seeded random classifiers and batches —
+// including default-class rows, standby fallthrough and score ties.
+func TestBatchScorerOracleRandom(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		numItems := 5 + rng.Intn(120)
+		numClasses := 2 + rng.Intn(4)
+		c := randomClassifier(rng, numItems, numClasses, rng.Intn(4))
+		b := NewBatchScorer(c, numItems)
+		for batch := 0; batch < 3; batch++ {
+			rows := randomRows(rng, rng.Intn(70), numItems)
+			labels, idxs := b.PredictBatch(rows)
+			for r, row := range rows {
+				wantLab, wantIdx := c.Predict(row)
+				if labels[r] != wantLab || idxs[r] != wantIdx {
+					t.Fatalf("seed %d batch %d row %d: batch (%d,%d), scalar (%d,%d)",
+						seed, batch, r, labels[r], idxs[r], wantLab, wantIdx)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchScorerOracleTrained pins the kernel against scalar
+// prediction on a real trained model over the PC synth profile,
+// train and test splits both (the test split has default-class rows).
+func TestBatchScorerOracleTrained(t *testing.T) {
+	trainM, testM, err := synth.Generate(synth.Scaled(synth.PC(), 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dz, err := discretize.FitMatrix(trainM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, err := dz.Transform(trainM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := dz.Transform(testM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Train(train, Config{K: 3, NL: 5, MinsupFrac: 0.7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBatchScorer(c, train.NumItems())
+	for _, d := range []*dataset.Dataset{train, test} {
+		gotLabels, gotStats := b.PredictDatasetBatch(d)
+		wantLabels, wantStats := c.PredictDataset(d)
+		for r := range wantLabels {
+			if gotLabels[r] != wantLabels[r] {
+				t.Fatalf("row %d: batch %d, scalar %d", r, gotLabels[r], wantLabels[r])
+			}
+		}
+		if gotStats.Defaults != wantStats.Defaults {
+			t.Fatalf("defaults: batch %d, scalar %d", gotStats.Defaults, wantStats.Defaults)
+		}
+		for j := range wantStats.ByClassifier {
+			if gotStats.ByClassifier[j] != wantStats.ByClassifier[j] {
+				t.Fatalf("classifier %d: batch %d, scalar %d",
+					j, gotStats.ByClassifier[j], wantStats.ByClassifier[j])
+			}
+		}
+	}
+}
+
+// TestBatchScorerReuse: back-to-back batches of different sizes through
+// one scorer must not leak state between calls (the column-clear
+// invariant).
+func TestBatchScorerReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	numItems := 60
+	c := randomClassifier(rng, numItems, 3, 3)
+	b := NewBatchScorer(c, numItems)
+	for _, n := range []int{40, 3, 0, 17, 40, 1} {
+		rows := randomRows(rng, n, numItems)
+		labels, idxs := b.PredictBatch(rows)
+		for r, row := range rows {
+			wantLab, wantIdx := c.Predict(row)
+			if labels[r] != wantLab || idxs[r] != wantIdx {
+				t.Fatalf("n=%d row %d: batch (%d,%d), scalar (%d,%d)",
+					n, r, labels[r], idxs[r], wantLab, wantIdx)
+			}
+		}
+	}
+}
+
+// TestPredictAllocFree pins the scalar one-row path at zero heap
+// allocations (the per-row scores slice now lives on the stack).
+func TestPredictAllocFree(t *testing.T) {
+	d, _ := dataset.RunningExample()
+	c, err := Train(d, Config{K: 2, NL: 3, MinsupFrac: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := d.RowItemSet(0)
+	if allocs := testing.AllocsPerRun(200, func() {
+		c.Predict(row)
+	}); allocs != 0 {
+		t.Errorf("Predict: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestBatchScorerAllocFree pins the steady state: once the arenas have
+// grown to the batch size, PredictInto performs zero heap allocations.
+func TestBatchScorerAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	numItems := 90
+	c := randomClassifier(rng, numItems, 3, 4)
+	b := NewBatchScorer(c, numItems)
+	rows := randomRows(rng, 64, numItems)
+	labels := make([]dataset.Label, len(rows))
+	idxs := make([]int, len(rows))
+	b.PredictInto(rows, labels, idxs) // warm-up growth
+	if allocs := testing.AllocsPerRun(100, func() {
+		b.PredictInto(rows, labels, idxs)
+	}); allocs != 0 {
+		t.Errorf("PredictInto steady state: %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkBatchClassify compares the row-at-a-time loop against the
+// rule-major kernel on PC-profile synth data across batch sizes. The
+// rows/s custom metric is the acceptance number: the kernel must reach
+// >= 4x the scalar loop's rate at batch >= 256.
+func BenchmarkBatchClassify(b *testing.B) {
+	// Serving-shaped data: a production training cohort (4x the PC
+	// profile's clinical split, giving ~200 selected rules across the 10
+	// sub-classifiers) and a test pool larger than the biggest batch, so
+	// every row in a batch is distinct — as in real serving traffic.
+	p := synth.Scaled(synth.PC(), 30)
+	p.Train1 *= 4
+	p.Train0 *= 4
+	p.Test1 = 600
+	p.Test0 = 600
+	trainM, testM, err := synth.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dz, err := discretize.FitMatrix(trainM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, err := dz.Transform(trainM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	test, err := dz.Transform(testM)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Paper-default model size (K=10, NL=20): the shape a production
+	// RCBT deployment actually serves.
+	c, err := Train(train, DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, batch := range []int{64, 256, 1024} {
+		rows := make([]*bitset.Set, batch)
+		for i := range rows {
+			rows[i] = test.RowItemSet(i % test.NumRows())
+		}
+		labels := make([]dataset.Label, batch)
+		idxs := make([]int, batch)
+
+		b.Run(fmt.Sprintf("rowmajor/batch=%d", batch), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for r, row := range rows {
+					labels[r], idxs[r] = c.Predict(row)
+				}
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+
+		b.Run(fmt.Sprintf("rulemajor/batch=%d", batch), func(b *testing.B) {
+			sc := NewBatchScorer(c, train.NumItems())
+			sc.Grow(batch)
+			sc.PredictInto(rows, labels, idxs) // warm-up
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sc.PredictInto(rows, labels, idxs)
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}

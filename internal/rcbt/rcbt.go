@@ -114,6 +114,23 @@ type Classifier struct {
 	numClasses int
 }
 
+// ConstantClassifier builds a rule-free classifier that answers def
+// for every row (every prediction reports the default-class path,
+// classifier index -1). It exists for serving tests and placeholders —
+// notably hot-swap tests that need a model guaranteed to disagree with
+// a trained one on any row.
+func ConstantClassifier(def dataset.Label, numClasses int) *Classifier {
+	if numClasses <= int(def) || def < 0 {
+		// vetsuite:allow panic -- programmer-error precondition, not data-dependent
+		panic(fmt.Sprintf("rcbt: default label %d outside [0,%d)", def, numClasses))
+	}
+	return &Classifier{
+		def:        def,
+		classCount: make([]int, numClasses),
+		numClasses: numClasses,
+	}
+}
+
 // Stats summarizes a batch prediction for the Section 6.2 analyses.
 type Stats struct {
 	// ByClassifier[j] = test rows decided by CL_{j+1}.
@@ -282,12 +299,29 @@ func (c *Classifier) NumClassifiers() int { return len(c.subs) }
 // Default returns the default class.
 func (c *Classifier) Default() dataset.Label { return c.def }
 
+// maxStackClasses bounds the class count classified on a stack-resident
+// score buffer. Gene expression datasets have 2-5 classes, so the
+// one-row path never heap-allocates; wider label spaces fall back to a
+// heap slice.
+const maxStackClasses = 16
+
 // Predict classifies one test row. classifierIdx is the 0-based index
 // of the sub-classifier that decided (the main classifier is 0), or -1
-// when the default class was used.
+// when the default class was used. Predict is safe for concurrent use
+// and allocation-free up to maxStackClasses classes.
+//
+//vet:allocfree
 func (c *Classifier) Predict(rowItems *bitset.Set) (label dataset.Label, classifierIdx int) {
-	for j, sub := range c.subs {
-		scores := make([]float64, c.numClasses)
+	var buf [maxStackClasses]float64
+	var scores []float64
+	if c.numClasses <= maxStackClasses {
+		scores = buf[:c.numClasses]
+	} else {
+		scores = make([]float64, c.numClasses) //vet:ignore allocfree wide label spaces exceed the stack bound; the common gene-expression path stays on buf
+	}
+	for j := range c.subs {
+		sub := &c.subs[j]
+		clear(scores)
 		matched := false
 		for _, r := range sub.rules {
 			if r.Matches(rowItems) {
@@ -312,12 +346,16 @@ func (c *Classifier) Predict(rowItems *bitset.Set) (label dataset.Label, classif
 	return c.def, -1
 }
 
-// PredictDataset classifies every row of a discretized dataset.
+// PredictDataset classifies every row of a discretized dataset. The
+// row item set is rebuilt into one reused scratch, so the loop itself
+// performs no per-row allocations.
 func (c *Classifier) PredictDataset(d *dataset.Dataset) ([]dataset.Label, Stats) {
 	stats := Stats{ByClassifier: make([]int, len(c.subs))}
 	out := make([]dataset.Label, d.NumRows())
+	rowItems := bitset.New(d.NumItems())
 	for r := 0; r < d.NumRows(); r++ {
-		lab, idx := c.Predict(d.RowItemSet(r))
+		d.RowItemSetInto(r, rowItems)
+		lab, idx := c.Predict(rowItems)
 		out[r] = lab
 		if idx < 0 {
 			stats.Defaults++

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"sync"
 
+	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/rcbt"
 )
@@ -83,11 +84,39 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	m, ok := s.lookupModel(w, req.Model)
+	sm, ok := s.lookupModel(w, req.Model)
 	if !ok {
 		return
 	}
-	label, idx, err := predictRow(r.Context(), m, req.Values, req.Items)
+	m := sm.model
+	var (
+		label dataset.Label
+		idx   int
+		err   error
+	)
+	if m.NumItems > 0 {
+		if err = r.Context().Err(); err != nil {
+			writeClassifyError(w, err)
+			return
+		}
+		var row *bitset.Set
+		row, err = sm.rowSet(req.Values, req.Items)
+		if err != nil {
+			writeClassifyError(w, err)
+			return
+		}
+		if sm.cache != nil {
+			label, idx, err = sm.cache.getOrCompute(row, func() (dataset.Label, int, error) {
+				l, i := m.Classifier.Predict(row)
+				return l, i, nil
+			})
+		} else {
+			label, idx = m.Classifier.Predict(row)
+		}
+		sm.putRow(row)
+	} else {
+		label, idx, err = predictRow(r.Context(), m, req.Values, req.Items)
+	}
 	if err != nil {
 		writeClassifyError(w, err)
 		return
@@ -102,11 +131,11 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req BatchRequest
-	if !decodeJSON(w, r, &req) {
+	req, ok := decodeBatchRequest(w, r, s.maxB)
+	if !ok {
 		return
 	}
-	m, ok := s.lookupModel(w, req.Model)
+	sm, ok := s.lookupModel(w, req.Model)
 	if !ok {
 		return
 	}
@@ -114,12 +143,134 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "batch has no rows")
 		return
 	}
-	if len(req.Rows) > s.maxB {
-		writeError(w, http.StatusRequestEntityTooLarge,
-			fmt.Sprintf("batch has %d rows, limit is %d", len(req.Rows), s.maxB))
+	if sm.batch {
+		s.batchKernel(w, r, sm, req)
 		return
 	}
+	s.batchScalar(w, r, sm.model, req)
+}
 
+// decodeBatchRequest streams the batch body token by token, so a batch
+// larger than maxB is rejected with 413 as soon as row maxB+1 appears —
+// before any per-row classification work and without buffering the
+// excess rows into memory.
+func decodeBatchRequest(w http.ResponseWriter, r *http.Request, maxB int) (*BatchRequest, bool) {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	bad := func(msg string) (*BatchRequest, bool) {
+		writeError(w, http.StatusBadRequest, "malformed request: "+msg)
+		return nil, false
+	}
+	tok, err := dec.Token()
+	if err != nil {
+		return bad(err.Error())
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return bad("request body must be a JSON object")
+	}
+	req := &BatchRequest{}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return bad(err.Error())
+		}
+		key, _ := keyTok.(string)
+		switch key {
+		case "model":
+			if err := dec.Decode(&req.Model); err != nil {
+				return bad(err.Error())
+			}
+		case "rows":
+			tok, err := dec.Token()
+			if err != nil {
+				return bad(err.Error())
+			}
+			if tok == nil { // "rows": null, same as absent
+				continue
+			}
+			if d, ok := tok.(json.Delim); !ok || d != '[' {
+				return bad("rows must be an array")
+			}
+			for dec.More() {
+				if len(req.Rows) >= maxB {
+					writeError(w, http.StatusRequestEntityTooLarge,
+						fmt.Sprintf("batch exceeds the %d-row limit", maxB))
+					return nil, false
+				}
+				var row BatchRow
+				if err := dec.Decode(&row); err != nil {
+					return bad(err.Error())
+				}
+				req.Rows = append(req.Rows, row)
+			}
+			if _, err := dec.Token(); err != nil { // closing ']'
+				return bad(err.Error())
+			}
+		default:
+			return bad(fmt.Sprintf("unknown field %q", key))
+		}
+	}
+	if _, err := dec.Token(); err != nil { // closing '}'
+		return bad(err.Error())
+	}
+	return req, true
+}
+
+// batchKernel is the read path for models with a fixed item universe:
+// every row is discretized into a pooled bitset, probed against the
+// prediction cache, and the misses go through one rule-major
+// BatchScorer sweep instead of len(rows) scalar rule walks.
+func (s *Server) batchKernel(w http.ResponseWriter, r *http.Request, sm *servedModel, req *BatchRequest) {
+	ctx := r.Context()
+	m := sm.model
+	results := make([]BatchResult, len(req.Rows))
+	missRows := make([]*bitset.Set, 0, len(req.Rows))
+	missIdx := make([]int, 0, len(req.Rows))
+	for i, br := range req.Rows {
+		set, err := sm.rowSet(br.Values, br.Items)
+		if err != nil {
+			results[i] = BatchResult{Label: -1, Classifier: -1, Error: err.Error()}
+			continue
+		}
+		if sm.cache != nil {
+			if label, idx, ok := sm.cache.get(set); ok {
+				results[i] = BatchResult{Label: int(label), Class: m.ClassName(label), Classifier: idx}
+				s.metrics.recordPrediction(req.Model, m.ClassName(label))
+				sm.putRow(set)
+				continue
+			}
+		}
+		missRows = append(missRows, set)
+		missIdx = append(missIdx, i)
+	}
+	if err := ctx.Err(); err != nil {
+		for _, set := range missRows {
+			sm.putRow(set)
+		}
+		writeClassifyError(w, err)
+		return
+	}
+	if len(missRows) > 0 {
+		sc := sm.scorers.Get().(*rcbt.BatchScorer)
+		labels := make([]dataset.Label, len(missRows))
+		idxs := make([]int, len(missRows))
+		sc.PredictInto(missRows, labels, idxs)
+		sm.scorers.Put(sc)
+		for k, i := range missIdx {
+			if sm.cache != nil {
+				sm.cache.put(missRows[k], labels[k], idxs[k])
+			}
+			results[i] = BatchResult{Label: int(labels[k]), Class: m.ClassName(labels[k]), Classifier: idxs[k]}
+			s.metrics.recordPrediction(req.Model, m.ClassName(labels[k]))
+			sm.putRow(missRows[k])
+		}
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Model: req.Model, Results: results})
+}
+
+// batchScalar is the fallback for models without a fixed universe: a
+// bounded worker pool walking rows through the scalar predictor.
+func (s *Server) batchScalar(w http.ResponseWriter, r *http.Request, m *rcbt.Model, req *BatchRequest) {
 	results := make([]BatchResult, len(req.Rows))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
@@ -164,8 +315,8 @@ feed:
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
 	models := make(map[string]*rcbt.Model, len(s.models))
-	for name, m := range s.models {
-		models[name] = m
+	for name, sm := range s.models {
+		models[name] = sm.model
 	}
 	s.mu.RUnlock()
 	infos := make([]ModelInfo, 0, len(models))
@@ -199,6 +350,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeProm(w)
+	s.writeCacheMetrics(w)
 	if s.jobs != nil {
 		writeJobMetrics(w, s.jobs.Metrics())
 	}
@@ -230,7 +382,7 @@ type shapeError string
 
 func (e shapeError) Error() string { return string(e) }
 
-func (s *Server) lookupModel(w http.ResponseWriter, name string) (*rcbt.Model, bool) {
+func (s *Server) lookupModel(w http.ResponseWriter, name string) (*servedModel, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if name == "" {

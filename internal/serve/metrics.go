@@ -111,6 +111,44 @@ func (m *metrics) writeProm(w io.Writer) {
 	fmt.Fprintf(w, "rcbtserved_in_flight %d\n", m.inFlight.Load())
 }
 
+// writeCacheMetrics renders each cache-enabled model's prediction
+// cache counters. A hot-swap replaces the cache, so a reset of these
+// counters is itself the observable signal that a model was reloaded.
+func (s *Server) writeCacheMetrics(w io.Writer) {
+	type modelCounters struct {
+		name string
+		c    cacheCounters
+	}
+	s.mu.RLock()
+	snaps := make([]modelCounters, 0, len(s.models))
+	for name, sm := range s.models {
+		if sm.cache != nil {
+			snaps = append(snaps, modelCounters{name, sm.cache.counters()})
+		}
+	}
+	s.mu.RUnlock()
+	if len(snaps) == 0 {
+		return
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].name < snaps[j].name })
+
+	fmt.Fprintln(w, "# HELP rcbtserved_predict_cache_hits_total Prediction cache hits by model.")
+	fmt.Fprintln(w, "# TYPE rcbtserved_predict_cache_hits_total counter")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "rcbtserved_predict_cache_hits_total{model=%q} %d\n", sn.name, sn.c.hits)
+	}
+	fmt.Fprintln(w, "# HELP rcbtserved_predict_cache_misses_total Prediction cache misses by model.")
+	fmt.Fprintln(w, "# TYPE rcbtserved_predict_cache_misses_total counter")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "rcbtserved_predict_cache_misses_total{model=%q} %d\n", sn.name, sn.c.misses)
+	}
+	fmt.Fprintln(w, "# HELP rcbtserved_predict_cache_evictions_total Prediction cache LRU evictions by model.")
+	fmt.Fprintln(w, "# TYPE rcbtserved_predict_cache_evictions_total counter")
+	for _, sn := range snaps {
+		fmt.Fprintf(w, "rcbtserved_predict_cache_evictions_total{model=%q} %d\n", sn.name, sn.c.evictions)
+	}
+}
+
 // writeJobMetrics renders the job manager's counters after the request
 // metrics: queue and running gauges, terminal-state counters, and the
 // job duration histogram (bucket counts arrive already cumulative).

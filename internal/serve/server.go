@@ -75,8 +75,14 @@ type Config struct {
 	// requests are rejected with 413 before any work happens.
 	MaxBatch int
 
-	// BatchWorkers bounds the goroutines classifying one batch.
+	// BatchWorkers bounds the goroutines classifying one batch on the
+	// scalar fallback path (models without a fixed item universe).
 	BatchWorkers int
+
+	// CacheSize caps each model's prediction cache (classifications
+	// memoized by discretized row). 0 means DefaultCacheSize; a
+	// negative value disables caching.
+	CacheSize int
 
 	// Logger receives one INFO record per request. nil disables
 	// request logging.
@@ -85,16 +91,17 @@ type Config struct {
 
 // Server is an http.Handler serving the classification API.
 type Server struct {
-	mu       sync.RWMutex // guards models: train jobs register into a live server
-	models   map[string]*rcbt.Model
-	jobs     *jobs.Manager
-	datasets map[string]NamedDataset
-	timeout  time.Duration
-	maxB     int
-	workers  int
-	logger   *slog.Logger
-	metrics  *metrics
-	mux      *http.ServeMux
+	mu        sync.RWMutex // guards models: train jobs register into a live server
+	models    map[string]*servedModel
+	jobs      *jobs.Manager
+	datasets  map[string]NamedDataset
+	timeout   time.Duration
+	maxB      int
+	workers   int
+	cacheSize int
+	logger    *slog.Logger
+	metrics   *metrics
+	mux       *http.ServeMux
 }
 
 // New validates cfg and builds a Server. With a Jobs manager it also
@@ -106,19 +113,15 @@ func New(cfg Config) (*Server, error) {
 		return nil, errors.New("serve: no models configured and no jobs manager")
 	}
 	s := &Server{
-		models:   make(map[string]*rcbt.Model, len(cfg.Models)),
-		jobs:     cfg.Jobs,
-		datasets: cfg.Datasets,
-		timeout:  cfg.RequestTimeout,
-		maxB:     cfg.MaxBatch,
-		workers:  cfg.BatchWorkers,
-		logger:   cfg.Logger,
-		metrics:  newMetrics(),
-	}
-	for name, m := range cfg.Models {
-		if err := s.RegisterModel(name, m); err != nil {
-			return nil, err
-		}
+		models:    make(map[string]*servedModel, len(cfg.Models)),
+		jobs:      cfg.Jobs,
+		datasets:  cfg.Datasets,
+		timeout:   cfg.RequestTimeout,
+		maxB:      cfg.MaxBatch,
+		workers:   cfg.BatchWorkers,
+		cacheSize: cfg.CacheSize,
+		logger:    cfg.Logger,
+		metrics:   newMetrics(),
 	}
 	if s.timeout == 0 {
 		s.timeout = DefaultRequestTimeout
@@ -128,6 +131,14 @@ func New(cfg Config) (*Server, error) {
 	}
 	if s.workers <= 0 {
 		s.workers = DefaultBatchWorkers
+	}
+	if s.cacheSize == 0 {
+		s.cacheSize = DefaultCacheSize
+	}
+	for name, m := range cfg.Models {
+		if err := s.RegisterModel(name, m); err != nil {
+			return nil, err
+		}
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
@@ -152,6 +163,9 @@ func New(cfg Config) (*Server, error) {
 
 // RegisterModel atomically adds or replaces a served model; requests
 // already classifying against a replaced model finish on the old one.
+// The replacement carries a fresh prediction cache, so a hot-swap
+// empties the name's cached classifications — the old model's labels
+// can never leak through the new model.
 func (s *Server) RegisterModel(name string, m *rcbt.Model) error {
 	if name == "" {
 		return errors.New("serve: empty model name")
@@ -159,8 +173,9 @@ func (s *Server) RegisterModel(name string, m *rcbt.Model) error {
 	if m == nil || m.Classifier == nil {
 		return fmt.Errorf("serve: model %q has no classifier", name)
 	}
+	sm := newServedModel(m, s.cacheSize)
 	s.mu.Lock()
-	s.models[name] = m
+	s.models[name] = sm
 	s.mu.Unlock()
 	return nil
 }
