@@ -5,7 +5,7 @@
 // Usage:
 //
 //	rcbtserved [-model name=model.json ...] [-data-dir dir] \
-//	    [-dataset name=matrix.txt ...] \
+//	    [-dataset name=matrix.txt ...] [-peers url,url,...] \
 //	    [-job-workers 2] [-job-queue 64] [-job-timeout 0] \
 //	    [-addr :8344] [-timeout 5s] [-max-batch 1024] [-batch-workers 4]
 //
@@ -13,14 +13,18 @@
 // cmd/rcbt -save) under a serving name. At least one of -model or
 // -data-dir is required. The server exposes:
 //
-//	POST /v1/classify        {"model": "name", "values": [...]} or {"items": [...]}
-//	POST /v1/classify/batch  {"model": "name", "rows": [{"values": [...]}, ...]}
-//	GET  /v1/models          loaded models and their metadata
-//	POST   /v1/jobs          submit a mine/train job (needs -data-dir)
-//	GET    /v1/jobs[/{id}]   list jobs / fetch one
-//	DELETE /v1/jobs/{id}     cancel a job
-//	GET  /healthz            liveness probe
-//	GET  /metrics            Prometheus text exposition
+//	POST /v1/models/{name}/classify        {"values": [...]} or {"items": [...]}
+//	POST /v1/models/{name}/classify/batch  {"rows": [{"values": [...]}, ...]}
+//	GET  /v1/models                        loaded models and their metadata
+//	GET  /v1/models/{name}                 a model's envelope (replication)
+//	POST   /v1/jobs                        submit a mine/train job (needs -data-dir)
+//	GET    /v1/jobs[/{id}]                 list jobs / fetch one
+//	DELETE /v1/jobs/{id}                   cancel a job
+//	GET  /healthz                          liveness probe
+//	GET  /metrics                          Prometheus text exposition
+//
+// (POST /v1/classify and /v1/classify/batch answer 308 redirects onto
+// the model-scoped routes for one release.)
 //
 // With -data-dir, job records are journaled under <dir>/jobs and
 // trained models under <dir>/models; a restarted server lists prior
@@ -28,6 +32,14 @@
 // expression matrix for job submissions to reference by name: it is
 // discretized at startup (entropy-MDL) and models trained on it bundle
 // the cuts, so they classify raw expression rows.
+//
+// -peers turns the process into a cluster node. It names the other
+// replicas' base URLs and enables two things: mine jobs submitted with
+// {"miner": "cluster"} are coordinated across the peers — each peer
+// mines column partitions through its own /v1/jobs surface, and the
+// merged result is identical to single-node mining — and a model
+// lookup that misses locally is pulled from the first peer that has
+// it, so any replica serves any model wherever its train job ran.
 //
 // The bound address is printed on startup (useful with -addr :0).
 // SIGINT/SIGTERM shut down in order: stop accepting job submissions
@@ -50,8 +62,10 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/discretize"
+	"repro/internal/engine"
 	"repro/internal/jobs"
 	"repro/internal/rcbt"
 	"repro/internal/serve"
@@ -95,6 +109,7 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "concurrent jobs")
 	jobQueue := flag.Int("job-queue", 64, "max queued jobs")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = unbounded)")
+	peersFlag := flag.String("peers", "", "comma-separated replica base URLs; enables cluster mining and model replication")
 	flag.Parse()
 
 	if len(models) == 0 && *dataDir == "" {
@@ -106,6 +121,20 @@ func main() {
 		fail(errors.New("-dataset requires -data-dir (datasets exist for job submissions)"))
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
+	var peers []string
+	for _, p := range strings.Split(*peersFlag, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, strings.TrimRight(p, "/"))
+		}
+	}
+	if len(peers) > 0 {
+		// A coordinator is just a node with a cluster miner registered:
+		// mine jobs submitted here with {"miner": "cluster"} fan out to
+		// the peers' own /v1/jobs surfaces.
+		engine.Register(cluster.New(cluster.Config{Peers: peers, Logger: logger}))
+		logger.Info("cluster mode", "peers", peers)
+	}
 
 	loaded := make(map[string]*rcbt.Model, len(models))
 	for name, path := range models {
@@ -153,6 +182,7 @@ func main() {
 		MaxBatch:       *maxBatch,
 		BatchWorkers:   *batchWorkers,
 		Logger:         logger,
+		Peers:          peers,
 	})
 	if err != nil {
 		fail(err)

@@ -7,10 +7,10 @@ import (
 
 // DeprecatedAPIAnalyzer flags uses of declarations carrying a
 // "Deprecated:" doc paragraph from outside their defining package.
-// The facade keeps one release of compatibility shims around an API
-// redesign (e.g. topkrgs.MineLegacy for the positional Mine); this
-// check stops the repo itself from leaning on them, so the shims can
-// be deleted on schedule without a migration scramble.
+// An API redesign keeps one release of compatibility shims (the
+// topkrgs facade carried MineLegacy and friends until their removal);
+// this check stops the repo itself from leaning on such shims, so they
+// can be deleted on schedule without a migration scramble.
 //
 // The defining package is exempt — shims delegate to their
 // replacements and may mention each other freely. Tests are not

@@ -67,21 +67,17 @@ func TestFactsMarkBitsetProducersFresh(t *testing.T) {
 	}
 }
 
-// TestFactsMarkFacadeShimsDeprecated pins the redesign contract: the
-// topkrgs compatibility shims must carry Deprecated: docs so the
-// deprecatedapi analyzer keeps the rest of the repo off them.
-func TestFactsMarkFacadeShimsDeprecated(t *testing.T) {
+// TestFacadeShimsRetired pins the end of the redesign's deprecation
+// schedule: the topkrgs compatibility shims (MineLegacy, the
+// positional MineContext, TrainRCBTLegacy, the old Options) were
+// deleted after their one release of grace, so no deprecated symbol
+// may remain in the facade.
+func TestFacadeShimsRetired(t *testing.T) {
 	pkgs := mustLoadModule(t)
 	facts := ComputeFacts(pkgs)
-	deprecated := map[string]bool{}
 	for obj := range facts.Deprecated {
 		if obj.Pkg() != nil && obj.Pkg().Path() == "repro/topkrgs" {
-			deprecated[obj.Name()] = true
-		}
-	}
-	for _, name := range []string{"MineLegacy", "MineContext", "TrainRCBTLegacy", "Options"} {
-		if !deprecated[name] {
-			t.Errorf("topkrgs.%s not registered as deprecated", name)
+			t.Errorf("topkrgs.%s is still deprecated; the shim layer was retired", obj.Name())
 		}
 	}
 }

@@ -1,0 +1,375 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/discretize"
+	"repro/internal/engine"
+	"repro/internal/hybrid"
+	"repro/internal/jobs"
+	"repro/internal/rules"
+	"repro/internal/serve"
+	"repro/internal/synth"
+)
+
+// newWorker starts a worker replica: a jobs manager plus the serve
+// surface, exactly the process rcbtserved runs.
+func newWorker(t *testing.T) *httptest.Server {
+	t.Helper()
+	jm, err := jobs.Open(context.Background(), jobs.Config{DataDir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Jobs: jm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		jm.Close() // vetsuite:allow uncheckederr -- test teardown
+	})
+	return ts
+}
+
+// groupSig is the full identity of a mined group: antecedent, class,
+// measures and global support rows. Deep equality of results is
+// equality of these signatures in order.
+func groupSig(g *rules.Group) string {
+	return fmt.Sprintf("%v|%d|%d|%s|%v", g.Antecedent, g.Class, g.Support,
+		strconv.FormatFloat(g.Confidence, 'g', -1, 64), g.Rows.Indices())
+}
+
+// assertDeepEqual requires the cluster result to match the single-node
+// hybrid result group for group and row for row.
+func assertDeepEqual(t *testing.T, tag string, got *engine.Result, want *hybrid.Result) {
+	t.Helper()
+	if len(got.Groups) != len(want.Groups) {
+		t.Fatalf("%s: %d groups, single-node %d", tag, len(got.Groups), len(want.Groups))
+	}
+	for i := range want.Groups {
+		if gs, ws := groupSig(got.Groups[i]), groupSig(want.Groups[i]); gs != ws {
+			t.Fatalf("%s: group %d:\n  cluster     %s\n  single-node %s", tag, i, gs, ws)
+		}
+	}
+	if len(got.PerRow) != len(want.PerRow) {
+		t.Fatalf("%s: %d per-row boards, single-node %d", tag, len(got.PerRow), len(want.PerRow))
+	}
+	for r, ws := range want.PerRow {
+		gs, ok := got.PerRow[r]
+		if !ok {
+			t.Fatalf("%s: row %d missing from cluster result", tag, r)
+		}
+		if len(gs) != len(ws) {
+			t.Fatalf("%s: row %d: %d groups, single-node %d", tag, r, len(gs), len(ws))
+		}
+		for i := range ws {
+			if a, b := groupSig(gs[i]), groupSig(ws[i]); a != b {
+				t.Fatalf("%s: row %d rank %d:\n  cluster     %s\n  single-node %s", tag, r, i, a, b)
+			}
+		}
+	}
+}
+
+func mineBoth(t *testing.T, c *Coordinator, d *dataset.Dataset, cls dataset.Label, minsup, k int) (*engine.Result, *hybrid.Result) {
+	t.Helper()
+	want, err := hybrid.Mine(d, cls, hybrid.Config{K: k, Minsup: minsup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.Mine(context.Background(), d, engine.Options{Class: cls, K: k, Minsup: minsup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, want
+}
+
+func TestClusterOracleFigure1(t *testing.T) {
+	peers := []string{newWorker(t).URL, newWorker(t).URL}
+	c := New(Config{Peers: peers})
+	d, _ := dataset.RunningExample()
+	for cls := dataset.Label(0); cls <= 1; cls++ {
+		for k := 1; k <= 3; k++ {
+			got, want := mineBoth(t, c, d, cls, 2, k)
+			assertDeepEqual(t, fmt.Sprintf("class %d k %d", cls, k), got, want)
+			if got.Partitions != want.Partitions {
+				t.Fatalf("class %d k %d: %d partitions, single-node %d", cls, k, got.Partitions, want.Partitions)
+			}
+		}
+	}
+}
+
+func randomDataset(r *rand.Rand) *dataset.Dataset {
+	nRows := 3 + r.Intn(9)
+	nItems := 2 + r.Intn(10)
+	d := &dataset.Dataset{ClassNames: []string{"C", "notC"}}
+	for i := 0; i < nItems; i++ {
+		d.Items = append(d.Items, dataset.Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < nRows; row++ {
+		var items []int
+		for i := 0; i < nItems; i++ {
+			if r.Intn(3) != 0 {
+				items = append(items, i)
+			}
+		}
+		d.Rows = append(d.Rows, items)
+		d.Labels = append(d.Labels, dataset.Label(r.Intn(2)))
+	}
+	d.Labels[0] = 0
+	return d
+}
+
+func TestClusterOracleQuick(t *testing.T) {
+	peers := []string{newWorker(t).URL, newWorker(t).URL}
+	c := New(Config{Peers: peers})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minsup := 1 + r.Intn(2)
+		k := 1 + r.Intn(3)
+		for cls := dataset.Label(0); cls <= 1; cls++ {
+			if d.ClassCount(cls) == 0 {
+				continue
+			}
+			got, want := mineBoth(t, c, d, cls, minsup, k)
+			assertDeepEqual(t, fmt.Sprintf("seed %d class %d", seed, cls), got, want)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClusterNoPeersOracle pins the degenerate single-process cluster
+// (every partition on the local fallback path) to the hybrid merge.
+func TestClusterNoPeersOracle(t *testing.T) {
+	c := New(Config{})
+	d, _ := dataset.RunningExample()
+	got, want := mineBoth(t, c, d, 0, 2, 3)
+	assertDeepEqual(t, "no peers", got, want)
+}
+
+// flakyWorker fronts a healthy worker with injected failures: the
+// first 503s sub-job submissions, then it stalls them past the
+// coordinator's sub-job deadline, then it heals. Reads (job polls)
+// always pass through.
+type flakyWorker struct {
+	backend  http.Handler
+	mode     atomic.Int64 // 0: 503, 1: stall, 2: healthy
+	injected atomic.Int64
+}
+
+func (f *flakyWorker) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		switch f.mode.Load() {
+		case 0:
+			f.injected.Add(1)
+			http.Error(w, "injected outage", http.StatusServiceUnavailable)
+			return
+		case 1:
+			f.injected.Add(1)
+			// Stall past the sub-job deadline; the client context expires
+			// long before this returns.
+			select {
+			case <-r.Context().Done():
+			case <-time.After(2 * time.Second):
+			}
+			http.Error(w, "stalled", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	f.backend.ServeHTTP(w, r)
+}
+
+// TestClusterPeerFailureOracle injects a peer that 503s, then times
+// out, then heals, and requires the merged result to stay deep-equal
+// to single-node mining throughout the degradation ladder.
+func TestClusterPeerFailureOracle(t *testing.T) {
+	healthy := newWorker(t)
+	jm, err := jobs.Open(context.Background(), jobs.Config{DataDir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Jobs: jm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky := &flakyWorker{backend: srv}
+	flakyTS := httptest.NewServer(flaky)
+	t.Cleanup(func() {
+		flakyTS.Close()
+		jm.Close() // vetsuite:allow uncheckederr -- test teardown
+	})
+
+	c := New(Config{
+		Peers:         []string{healthy.URL, flakyTS.URL},
+		SubJobTimeout: 250 * time.Millisecond,
+		Retries:       1,
+		Backoff:       time.Millisecond,
+	})
+	d, _ := dataset.RunningExample()
+	for mode, tag := range map[int64]string{0: "503", 1: "timeout", 2: "healed"} {
+		flaky.mode.Store(mode)
+		got, want := mineBoth(t, c, d, 0, 2, 3)
+		assertDeepEqual(t, tag, got, want)
+	}
+	if flaky.injected.Load() == 0 {
+		t.Fatal("failure injection never fired; the test exercised nothing")
+	}
+}
+
+// specRecorder fronts a worker and records the Minconf of every
+// sub-job submission, so the test can see the floors the coordinator
+// exchanged between rounds.
+type specRecorder struct {
+	backend http.Handler
+	mu      chan struct{}
+	floors  []float64
+}
+
+func (s *specRecorder) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method == http.MethodPost {
+		var req struct {
+			Minconf float64 `json:"minconf"`
+		}
+		body, err := io.ReadAll(r.Body)
+		if err == nil && json.Unmarshal(body, &req) == nil {
+			s.mu <- struct{}{}
+			s.floors = append(s.floors, req.Minconf)
+			<-s.mu
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+	}
+	s.backend.ServeHTTP(w, r)
+}
+
+// TestClusterFloorsExchanged mines a table large enough to fill every
+// per-row board early and asserts that later rounds carried a positive
+// minconf floor to the workers — and that pruning under that floor
+// still reproduces the single-node result exactly.
+func TestClusterFloorsExchanged(t *testing.T) {
+	jm, err := jobs.Open(context.Background(), jobs.Config{DataDir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := serve.New(serve.Config{Jobs: jm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &specRecorder{backend: srv, mu: make(chan struct{}, 1)}
+	ts := httptest.NewServer(rec)
+	t.Cleanup(func() {
+		ts.Close()
+		jm.Close() // vetsuite:allow uncheckederr -- test teardown
+	})
+
+	// One peer per round: the floor refreshes between every partition.
+	c := New(Config{Peers: []string{ts.URL}})
+	r := rand.New(rand.NewSource(7))
+	nRows, nItems := 120, 18
+	d := &dataset.Dataset{ClassNames: []string{"C", "notC"}}
+	for i := 0; i < nItems; i++ {
+		d.Items = append(d.Items, dataset.Item{Gene: i, GeneName: "g"})
+	}
+	for row := 0; row < nRows; row++ {
+		var items []int
+		for i := 0; i < nItems; i++ {
+			if r.Intn(3) != 0 {
+				items = append(items, i)
+			}
+		}
+		d.Rows = append(d.Rows, items)
+		d.Labels = append(d.Labels, dataset.Label(row%2))
+	}
+
+	got, want := mineBoth(t, c, d, 0, 2, 2)
+	assertDeepEqual(t, "floors", got, want)
+
+	rec.mu <- struct{}{}
+	floors := append([]float64(nil), rec.floors...)
+	<-rec.mu
+	if len(floors) < 2 {
+		t.Fatalf("expected several sub-jobs, saw %d", len(floors))
+	}
+	if floors[0] != 0 {
+		t.Fatalf("first round floor = %v, want 0 (no boards merged yet)", floors[0])
+	}
+	positive := 0
+	for _, f := range floors {
+		if f > 0 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Fatal("no positive floor ever reached a worker; the exchange is dead weight")
+	}
+}
+
+// TestClusterFloorsOraclePaperProfile is the acceptance oracle: the
+// synthetic PC profile at scale 15 with k=60 — full boards, deep
+// enumeration, hundreds of partitions — mined by a two-worker cluster
+// must deep-equal single-node hybrid mining.
+func TestClusterFloorsOraclePaperProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	p := synth.Scaled(synth.PC(), 15)
+	train, _, err := synth.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dz, err := discretize.FitMatrix(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dz.Transform(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := d.ClassCount(0)
+	minsup := (n*7 + 9) / 10
+	if minsup < 1 {
+		minsup = 1
+	}
+
+	peers := []string{newWorker(t).URL, newWorker(t).URL}
+	c := New(Config{Peers: peers})
+	got, want := mineBoth(t, c, d, 0, minsup, 60)
+	if len(want.Groups) == 0 {
+		t.Fatal("single-node run found no groups; profile no longer exercises the tree")
+	}
+	assertDeepEqual(t, "PC/15 k=60", got, want)
+}
+
+func TestClusterRejectsNodeBudget(t *testing.T) {
+	c := New(Config{})
+	d, _ := dataset.RunningExample()
+	if _, _, err := c.Mine(context.Background(), d, engine.Options{K: 1, Minsup: 1, MaxNodes: 10}); err == nil {
+		t.Fatal("MaxNodes accepted; cluster mode cannot enforce a cross-process budget")
+	}
+}
+
+func TestClusterCancellation(t *testing.T) {
+	c := New(Config{})
+	d, _ := dataset.RunningExample()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.Mine(ctx, d, engine.Options{K: 2, Minsup: 1}); err == nil {
+		t.Fatal("cancelled context not honored")
+	}
+}

@@ -47,6 +47,14 @@ type Config struct {
 	// nodes; Result.Stats.Aborted reports the cutoff and the per-row
 	// lists hold the best groups seen so far (possibly incomplete).
 	MaxNodes int
+	// MinConf, when positive, is a static minimum-confidence floor: rule
+	// groups with confidence strictly below it are discarded, and the
+	// dynamic top-k threshold never drops below (MinConf, 0). Callers
+	// must guarantee that no group of the final top-k lists can fall
+	// strictly below the floor (e.g. a cluster coordinator whose merged
+	// lists are already full at or above it) — otherwise lists come back
+	// short. Groups tied with the floor are kept.
+	MinConf float64
 	// Workers > 1 mines first-level subtrees on that many goroutines;
 	// output is deterministically identical to sequential mining. 0 or 1
 	// runs sequentially.
@@ -405,6 +413,12 @@ func (v *topkVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
 	if math.IsInf(minC, 1) {
 		minC, minS = 0, 0 // no reachable positive rows: node is sterile anyway
 	}
+	// The static floor clamps the dynamic threshold from below. Sup 0
+	// keeps subtrees tied with the floor alive: any real group has
+	// support >= 1, so qualifies() still admits conf == MinConf.
+	if v.cfg.MinConf > 0 && rules.CompareConf(v.cfg.MinConf, minC) > 0 {
+		minC, minS = v.cfg.MinConf, 0
+	}
 	return engine.Threshold{Conf: minC, Sup: minS}
 }
 
@@ -504,6 +518,9 @@ func (v *topkVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos []
 		return
 	}
 	conf := float64(xp) / float64(xp+xn)
+	if v.cfg.MinConf > 0 && rules.CompareConf(conf, v.cfg.MinConf) < 0 {
+		return
+	}
 	v.apply(func() []int { return v.expand(items) }, rows, conf, xp, xPos)
 }
 

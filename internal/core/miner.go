@@ -19,6 +19,7 @@ func (miner) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) 
 	}
 	cfg := DefaultConfig(opts.Minsup, opts.K)
 	cfg.MaxNodes = opts.MaxNodes
+	cfg.MinConf = opts.Minconf
 	cfg.Workers = opts.EffectiveWorkers()
 	cfg.Progress = opts.Progress
 	cfg.ProgressEvery = opts.ProgressEvery

@@ -357,6 +357,11 @@ func (w *workerVisitor) UpdateThresholds(xPos, candPos []int) engine.Threshold {
 	if math.IsInf(minC, 1) {
 		minC, minS = 0, 0 // no reachable positive rows: node is sterile anyway
 	}
+	// Same static-floor clamp as the sequential Step 8: the floor holds
+	// at every sequential position, so it is sound in every channel.
+	if w.cfg.MinConf > 0 && rules.CompareConf(w.cfg.MinConf, minC) > 0 {
+		minC, minS = w.cfg.MinConf, 0
+	}
 	return engine.Threshold{Conf: minC, Sup: minS}
 }
 
@@ -427,6 +432,11 @@ func (w *workerVisitor) OnGroup(items []int, rows *bitset.Set, xp, xn int, xPos 
 		return
 	}
 	conf := float64(xp) / float64(xp+xn)
+	// Identical static-floor skip as the sequential OnGroup, so the local
+	// lists stay an exact mirror of a floored sequential run while exact.
+	if w.cfg.MinConf > 0 && rules.CompareConf(conf, w.cfg.MinConf) < 0 {
+		return
+	}
 	// Strict filter against the sound per-row thresholds: replay-time
 	// thresholds are at least these, and apply only admits groups that
 	// strictly beat some covered row's threshold — an event that cannot

@@ -72,8 +72,7 @@ type ClosedItemset struct {
 
 // Options is the miner-independent configuration of the Miner
 // interface. Each miner reads the fields that apply to it and ignores
-// the rest (a top-k miner ignores Minconf; a closed-set miner ignores
-// K and Class).
+// the rest (a closed-set miner ignores K and Class).
 type Options struct {
 	// Class is the consequent class for rule-group miners.
 	Class dataset.Label
@@ -83,7 +82,10 @@ type Options struct {
 	// Minsup is the absolute minimum support: consequent-class rows for
 	// rule-group miners, all rows for closed-set miners.
 	Minsup int
-	// Minconf is the static minimum confidence (farmer); 0 disables.
+	// Minconf is the static minimum confidence; 0 disables. Farmer
+	// filters rules below it; the top-k miner treats it as a floor its
+	// caller (e.g. a cluster coordinator) guarantees the final lists
+	// stay at or above, and prunes groups strictly below it.
 	Minconf float64
 	// MinChi is the static minimum chi-square (farmer); 0 disables.
 	MinChi float64

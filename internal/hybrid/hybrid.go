@@ -122,6 +122,42 @@ func (s *runState) exhausted() bool {
 	return s.cfg.MaxNodes > 0 && (s.stats.Aborted || s.stats.Nodes >= s.cfg.MaxNodes)
 }
 
+// PlanPartitions computes the column-phase partition plan for mining
+// class cls of d with the given absolute minimum support: one
+// partition per frequent item i — the rows containing i — with
+// identical partitions (items sharing a support set) deduplicated,
+// first occurrence kept. Items supported by more than maxRows rows
+// (when maxRows > 0) are excluded from the plan and returned
+// separately as wide; they are exactly the residual-pass items.
+//
+// The plan is deterministic: partitions appear in ascending order of
+// their defining item, each as the ascending global row ids of that
+// item's support set. Mining every partition (plus the wide residual)
+// and merging per-row top-k boards reconstructs the exact single-node
+// result — the invariant both hybrid.MineContext and the cluster
+// coordinator build on. cls must be a valid class of d.
+func PlanPartitions(d *dataset.Dataset, cls dataset.Label, minsup, maxRows int) (parts [][]int, wide []int) {
+	pos := d.RowSet(cls)
+	keys := map[string]bool{}
+	for i := 0; i < d.NumItems(); i++ {
+		rows := d.ItemRows(i)
+		if rows.IntersectionCount(pos) < minsup {
+			continue
+		}
+		if maxRows > 0 && rows.Count() > maxRows {
+			wide = append(wide, i)
+			continue
+		}
+		key := rows.Key()
+		if keys[key] {
+			continue
+		}
+		keys[key] = true
+		parts = append(parts, rows.Indices())
+	}
+	return parts, wide
+}
+
 // Mine discovers the top-k covering rule groups of class cls by
 // column-partitioned row enumeration. It is MineContext without
 // cancellation.
@@ -164,30 +200,19 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg
 	seen := map[string]bool{}
 
 	// Column phase: one partition per frequent item, deduplicated by
-	// support set (identical partitions yield identical groups).
+	// support set (identical partitions yield identical groups). The
+	// plan is shared with the cluster coordinator via PlanPartitions.
 	st := &runState{cfg: cfg}
-	partitionKeys := map[string]bool{}
-	for i := 0; i < d.NumItems(); i++ {
-		rows := d.ItemRows(i)
-		if rows.IntersectionCount(pos) < cfg.Minsup {
-			continue
-		}
-		if cfg.MaxPartitionRows > 0 && rows.Count() > cfg.MaxPartitionRows {
-			continue // handled by the residual pass below
-		}
-		key := rows.Key()
-		if partitionKeys[key] {
-			continue
-		}
+	parts, wideItems := PlanPartitions(d, cls, cfg.Minsup, cfg.MaxPartitionRows)
+	for _, rows := range parts {
 		if st.exhausted() {
 			// Budget spent with this partition (at least) still unmined:
 			// the merged lists are a partial answer.
 			st.stats.Aborted = true
 			break
 		}
-		partitionKeys[key] = true
 		res.Partitions++
-		if err := minePartition(ctx, d, cls, st, rows.Indices(), lists, seen); err != nil {
+		if err := minePartition(ctx, d, cls, st, rows, lists, seen); err != nil {
 			return nil, err
 		}
 	}
@@ -195,33 +220,25 @@ func MineContext(ctx context.Context, d *dataset.Dataset, cls dataset.Label, cfg
 	// Residual pass for items whose partitions exceeded the cap: mine
 	// the whole table restricted to those wide items (few in practice —
 	// near-universal items produce shallow enumerations).
-	if cfg.MaxPartitionRows > 0 && !st.stats.Aborted {
-		wide, _ := d.FilterItems(func(i int) bool {
-			rows := d.ItemRows(i)
-			return rows.IntersectionCount(pos) >= cfg.Minsup && rows.Count() > cfg.MaxPartitionRows
-		})
+	if len(wideItems) > 0 && !st.stats.Aborted {
+		isWide := make(map[int]bool, len(wideItems))
+		for _, i := range wideItems {
+			isWide[i] = true
+		}
+		wide, _ := d.FilterItems(func(i int) bool { return isWide[i] })
 		switch {
-		case wide.NumItems() > 0 && st.exhausted():
+		case st.exhausted():
 			st.stats.Aborted = true
-		case wide.NumItems() > 0:
+		default:
 			sub, err := core.MineContext(ctx, wide, cls, st.coreConfig())
 			if err != nil {
 				return nil, err
 			}
 			st.absorb(sub.Stats)
-			// Item ids in `wide` are renumbered; remap antecedents back.
-			_, newToOld := d.FilterItems(func(i int) bool {
-				rows := d.ItemRows(i)
-				return rows.IntersectionCount(pos) >= cfg.Minsup && rows.Count() > cfg.MaxPartitionRows
-			})
 			for _, g := range sub.Groups {
-				ant := make([]int, len(g.Antecedent))
-				for j, it := range g.Antecedent {
-					ant[j] = newToOld[it]
-				}
-				g.Antecedent = ant
 				// The closure over wide items only may not be globally
-				// closed; recompute the global closure.
+				// closed; recompute the global closure (which also
+				// restores global item ids — `wide` renumbers them).
 				g.Antecedent = d.CommonItems(g.Rows)
 				offer(d, g, lists, seen)
 			}

@@ -40,6 +40,7 @@ const (
 	CauseDeadline    = "deadline"
 	CauseBudget      = "budget"
 	CauseInterrupted = "interrupted"
+	CauseDrained     = "drained"
 )
 
 // Sentinel errors returned by Manager methods.
@@ -58,6 +59,10 @@ var (
 	// ErrInterrupted is the Cause of a job found queued or running in
 	// the journal at Open time: its process died mid-job.
 	ErrInterrupted = errors.New("jobs: interrupted by manager restart")
+	// ErrDrained is the Cause of a queued job canceled by Drain before
+	// any worker picked it up: the manager shut down with it still
+	// waiting. Unlike ErrInterrupted, the outcome was journaled cleanly.
+	ErrDrained = errors.New("jobs: canceled by manager drain")
 )
 
 // KindMine and KindTrain are the two job kinds.
@@ -114,6 +119,16 @@ type Spec struct {
 	// over the consequent class (rule miners, train) or all rows
 	// (closed-set miners).
 	MinsupFrac float64 `json:"minsupFrac,omitempty"`
+	// Minconf is a static minimum-confidence floor for mine jobs
+	// (0 = none). A cluster coordinator sets it to the merged boards'
+	// global threshold so remote workers prune as aggressively as local
+	// enumeration would.
+	Minconf float64 `json:"minconf,omitempty"`
+	// ReturnGroups asks a mine job to journal the discovered rule
+	// groups in Result.GroupList (antecedents, supports, row sets) —
+	// the payload a cluster coordinator merges. Off by default: group
+	// lists can be large and listings only need the counts.
+	ReturnGroups bool `json:"returnGroups,omitempty"`
 	// NL is the lower-bound rule count for train jobs (0 = 20).
 	NL int `json:"nl,omitempty"`
 	// Workers is the per-job mining worker count (0 = sequential).
@@ -156,8 +171,27 @@ type Progress struct {
 	UpdatedAt       time.Time `json:"updatedAt"`
 }
 
+// MinedGroup is the wire form of one rule group in a mine job's
+// Result.GroupList: plain slices and scalars so it journals and ships
+// over HTTP losslessly. Confidence round-trips exactly through JSON
+// (encoding/json emits the shortest representation that parses back to
+// the same float64), which is what lets a cluster coordinator compare
+// remote confidences with rules.CompareConf.
+type MinedGroup struct {
+	// Items is the sorted antecedent (upper bound) in dataset item ids.
+	Items []int `json:"items"`
+	// Class is the consequent class index.
+	Class int `json:"class"`
+	// Support and Confidence are the group's global measures.
+	Support    int     `json:"support"`
+	Confidence float64 `json:"confidence"`
+	// Rows is the ascending row ids of the support set.
+	Rows []int `json:"rows"`
+}
+
 // Summary condenses a finished job's result for listing; full mining
-// output is not journaled (models are persisted separately).
+// output is not journaled (models are persisted separately) unless the
+// spec asked for it with ReturnGroups.
 type Summary struct {
 	// Nodes is the enumeration node total.
 	Nodes int `json:"nodes"`
@@ -168,6 +202,9 @@ type Summary struct {
 	Classifiers int `json:"classifiers,omitempty"`
 	// Aborted reports a node-budget cutoff (mirrors Record.Partial).
 	Aborted bool `json:"aborted,omitempty"`
+	// GroupList is the mined rule groups in significance order, present
+	// only when Spec.ReturnGroups was set.
+	GroupList []MinedGroup `json:"groupList,omitempty"`
 }
 
 // JournalSchemaVersion is the record layout written to the journal.
@@ -207,8 +244,9 @@ type Record struct {
 // can distinguish outcomes with errors.Is even across a restart:
 // context.Canceled (canceled by request or shutdown),
 // context.DeadlineExceeded (job timeout), engine.ErrNodeBudget (node
-// cap; the job still succeeded with Partial set), or ErrInterrupted
-// (process died mid-job). It returns nil for clean completions.
+// cap; the job still succeeded with Partial set), ErrInterrupted
+// (process died mid-job), or ErrDrained (queued job canceled by a
+// clean shutdown). It returns nil for clean completions.
 func (r *Record) Cause() error {
 	switch r.ErrCause {
 	case CauseCanceled:
@@ -219,6 +257,8 @@ func (r *Record) Cause() error {
 		return engine.ErrNodeBudget
 	case CauseInterrupted:
 		return ErrInterrupted
+	case CauseDrained:
+		return ErrDrained
 	}
 	return nil
 }
@@ -249,6 +289,15 @@ func (r *Record) clone() *Record {
 	}
 	if r.Result != nil {
 		s := *r.Result
+		if s.GroupList != nil {
+			gl := make([]MinedGroup, len(s.GroupList))
+			for i, g := range s.GroupList {
+				g.Items = append([]int(nil), g.Items...)
+				g.Rows = append([]int(nil), g.Rows...)
+				gl[i] = g
+			}
+			s.GroupList = gl
+		}
 		c.Result = &s
 	}
 	return &c

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 	"time"
 
@@ -170,7 +171,7 @@ func TestConcurrentMineJobs(t *testing.T) {
 		}
 		if first == nil {
 			first = rec.Result
-		} else if *rec.Result != *first {
+		} else if !reflect.DeepEqual(rec.Result, first) {
 			t.Fatalf("nondeterministic result: %+v vs %+v", rec.Result, first)
 		}
 	}
@@ -273,7 +274,8 @@ func TestBudgetAbortDistinguishable(t *testing.T) {
 }
 
 func TestQueueCapAndDrain(t *testing.T) {
-	m := openTest(t, Config{Workers: 1, QueueDepth: 1})
+	dir := t.TempDir()
+	m := openTest(t, Config{DataDir: dir, Workers: 1, QueueDepth: 1})
 	running, err := m.Submit(slowSpec(), slowData())
 	if err != nil {
 		t.Fatal(err)
@@ -295,13 +297,38 @@ func TestQueueCapAndDrain(t *testing.T) {
 		t.Fatalf("post-drain submit: got %v, want ErrDraining", err)
 	}
 
-	// A queued job cancels instantly, without ever running.
-	got, err := m.Cancel(queued.ID)
+	// Drain cancels the queued job on the spot — terminal in memory AND
+	// in its journal, so a crash between Drain and Close cannot leave a
+	// "queued" record for restart recovery to call interrupted. The
+	// running job is untouched.
+	got, err := m.Get(queued.ID)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got.State != StateCanceled || got.StartedAt != nil {
-		t.Fatalf("queued cancel: state=%s started=%v", got.State, got.StartedAt)
+		t.Fatalf("drained job: state=%s started=%v, want canceled/never started", got.State, got.StartedAt)
+	}
+	if !errors.Is(got.Cause(), ErrDrained) {
+		t.Errorf("drained Cause() = %v, want ErrDrained", got.Cause())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "jobs", queued.ID+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk Record
+	if err := json.Unmarshal(data, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State != StateCanceled || onDisk.ErrCause != CauseDrained {
+		t.Fatalf("journal after drain: state=%s cause=%s, want canceled/drained", onDisk.State, onDisk.ErrCause)
+	}
+	if r, err := m.Get(running.ID); err != nil || r.State != StateRunning {
+		t.Fatalf("running job after drain: %v %v, want still running", r, err)
+	}
+
+	// Cancelling the drained job again is a terminal-state conflict.
+	if _, err := m.Cancel(queued.ID); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("cancel drained job: got %v, want ErrTerminal", err)
 	}
 	if _, err := m.Cancel(running.ID); err != nil {
 		t.Fatal(err)

@@ -140,6 +140,9 @@ func (m *Manager) validate(spec *Spec, data Data) error {
 	if spec.Minsup < 0 || spec.MinsupFrac < 0 || spec.MinsupFrac > 1 {
 		return bad("minsup %d / minsupFrac %v out of range", spec.Minsup, spec.MinsupFrac)
 	}
+	if spec.Minconf < 0 || spec.Minconf > 1 {
+		return bad("minconf %v out of range [0,1]", spec.Minconf)
+	}
 	if spec.K < 0 || spec.NL < 0 || spec.Workers < 0 || spec.MaxNodes < 0 || spec.Timeout < 0 {
 		return bad("negative tuning field")
 	}
@@ -163,6 +166,9 @@ func (m *Manager) validate(spec *Spec, data Data) error {
 	case KindTrain:
 		if spec.Miner != "" {
 			return bad("miner is only valid for mine jobs (train always uses topk)")
+		}
+		if spec.Minconf != 0 || spec.ReturnGroups {
+			return bad("minconf and returnGroups are only valid for mine jobs")
 		}
 		if spec.ModelName != "" && !modelNameRE.MatchString(spec.ModelName) {
 			return bad("model name %q is not path-safe", spec.ModelName)
@@ -310,13 +316,40 @@ func (m *Manager) Cancel(id string) (*Record, error) {
 	}
 }
 
-// Drain stops accepting submissions (ErrDraining) while letting queued
-// and running jobs finish. It is the first phase of a graceful
+// Drain stops accepting submissions (ErrDraining) while letting
+// running jobs finish, and cancels still-queued jobs with a drained
+// cause — journaled immediately, so a process that dies between Drain
+// and Close never leaves them "queued" on disk for restart recovery to
+// re-report as interrupted. It is the first phase of a graceful
 // shutdown; Close cancels what is still running.
 func (m *Manager) Drain() {
 	m.mu.Lock()
 	m.draining = true
+	now := time.Now().UTC()
+	var snaps []*Record
+	for _, id := range m.order {
+		rec := m.recs[id]
+		if rec.State != StateQueued {
+			continue
+		}
+		rec.State = StateCanceled
+		rec.Error = "canceled by drain"
+		rec.ErrCause = CauseDrained
+		rec.FinishedAt = &now
+		m.queued--
+		m.noteTerminalLocked(rec)
+		snaps = append(snaps, rec.clone())
+	}
 	m.mu.Unlock()
+	// A worker that pops a drained job sees its terminal state and
+	// skips it (run's queued-state guard), so journaling after the
+	// unlock races with nothing.
+	for _, snap := range snaps {
+		if err := m.persist(snap); err != nil {
+			m.logf("job %s: journal write: %v", snap.ID, err)
+		}
+		m.logf("job %s canceled by drain", snap.ID)
+	}
 }
 
 // Close drains, cancels every queued and running job, and waits for the
@@ -510,6 +543,7 @@ func (m *Manager) runMine(ctx context.Context, spec Spec, data Data, progress en
 		Class:    cls,
 		K:        k,
 		Minsup:   resolveMinsup(spec, d, cls),
+		Minconf:  spec.Minconf,
 		Workers:  spec.Workers,
 		MaxNodes: spec.MaxNodes,
 		Progress: progress,
@@ -518,12 +552,28 @@ func (m *Manager) runMine(ctx context.Context, spec Spec, data Data, progress en
 	if err != nil {
 		return nil, err
 	}
-	return &Summary{
+	sum := &Summary{
 		Nodes:   stats.Nodes,
 		Groups:  len(res.Groups),
 		Closed:  len(res.Closed),
 		Aborted: stats.Aborted,
-	}, nil
+	}
+	if spec.ReturnGroups {
+		sum.GroupList = make([]MinedGroup, len(res.Groups))
+		for i, g := range res.Groups {
+			mg := MinedGroup{
+				Items:      append([]int(nil), g.Antecedent...),
+				Class:      int(g.Class),
+				Support:    g.Support,
+				Confidence: g.Confidence,
+			}
+			if g.Rows != nil {
+				mg.Rows = g.Rows.Indices()
+			}
+			sum.GroupList[i] = mg
+		}
+	}
+	return sum, nil
 }
 
 // resolveMinsup turns the spec's absolute/relative support into the

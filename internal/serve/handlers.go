@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"net/url"
 	"sync"
 
 	"repro/internal/bitset"
@@ -17,11 +19,13 @@ import (
 // buffer unbounded JSON into the server.
 const maxBodyBytes = 32 << 20
 
-// ClassifyRequest is the body of POST /v1/classify. Exactly one of
-// Values (raw expression row, discretized with the model's cuts) or
-// Items (pre-discretized item ids) must be set.
+// ClassifyRequest is the body of POST /v1/models/{name}/classify.
+// Exactly one of Values (raw expression row, discretized with the
+// model's cuts) or Items (pre-discretized item ids) must be set.
+// Model is optional on the model-scoped route (the path names the
+// model); when present it must match the path.
 type ClassifyRequest struct {
-	Model  string    `json:"model"`
+	Model  string    `json:"model,omitempty"`
 	Values []float64 `json:"values,omitempty"`
 	Items  []int     `json:"items,omitempty"`
 }
@@ -36,10 +40,11 @@ type ClassifyResponse struct {
 	Classifier int `json:"classifier"`
 }
 
-// BatchRequest is the body of POST /v1/classify/batch. Each row is
-// classified independently against the same model.
+// BatchRequest is the body of POST /v1/models/{name}/classify/batch.
+// Each row is classified independently against the same model. The
+// same Model rule as ClassifyRequest applies.
 type BatchRequest struct {
-	Model string     `json:"model"`
+	Model string     `json:"model,omitempty"`
 	Rows  []BatchRow `json:"rows"`
 }
 
@@ -75,16 +80,104 @@ type ModelInfo struct {
 	Meta           *rcbt.Meta `json:"meta,omitempty"`
 }
 
+// errorResponse is the unified error envelope every handler writes:
+// {"error":{"code","message"}}. Code is a stable machine-readable slug
+// derived from the HTTP status; Message is the human diagnostic.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error errorDetail `json:"error"`
 }
 
-func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+type errorDetail struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// codeForStatus names each HTTP status the handlers produce; clients
+// switch on the slug instead of parsing messages.
+func codeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusRequestEntityTooLarge:
+		return "too_large"
+	case http.StatusUnprocessableEntity:
+		return "unprocessable"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "unavailable"
+	case http.StatusGatewayTimeout:
+		return "deadline"
+	default:
+		if status >= 500 {
+			return "internal"
+		}
+		return "error"
+	}
+}
+
+// redirectLegacyClassify serves the pre-resource classify paths for
+// one release: the body is peeked for the model name (a single-model
+// server fills it in) and the client is 308-redirected to the
+// model-scoped route. 308 re-sends the method and body, so the target
+// handler sees the original request.
+func (s *Server) redirectLegacyClassify(suffix string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+			return
+		}
+		var peek struct {
+			Model string `json:"model"`
+		}
+		json.Unmarshal(body, &peek) // vetsuite:allow uncheckederr -- best-effort peek; malformed bodies get their real diagnostic at the target
+		name := peek.Model
+		if name == "" {
+			s.mu.RLock()
+			if len(s.models) == 1 {
+				for n := range s.models {
+					name = n
+				}
+			}
+			s.mu.RUnlock()
+		}
+		if name == "" {
+			writeError(w, http.StatusBadRequest, "model name required")
+			return
+		}
+		w.Header().Set("Deprecation", "true")
+		http.Redirect(w, r, "/v1/models/"+url.PathEscape(name)+"/classify"+suffix, http.StatusPermanentRedirect)
+	}
+}
+
+// bindModelName reconciles the route's {name} with the body's
+// (optional, legacy) model field: an empty body field inherits the
+// path, a mismatch is a 400.
+func bindModelName(w http.ResponseWriter, r *http.Request, model *string) bool {
+	name := r.PathValue("name")
+	if *model != "" && *model != name {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("body names model %q but the path names %q", *model, name))
+		return false
+	}
+	*model = name
+	return true
+}
+
+func (s *Server) handleClassifyModel(w http.ResponseWriter, r *http.Request) {
 	var req ClassifyRequest
 	if !decodeJSON(w, r, &req) {
 		return
 	}
-	sm, ok := s.lookupModel(w, req.Model)
+	if !bindModelName(w, r, &req.Model) {
+		return
+	}
+	sm, ok := s.lookupModel(w, r, req.Model)
 	if !ok {
 		return
 	}
@@ -130,12 +223,15 @@ func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleBatchModel(w http.ResponseWriter, r *http.Request) {
 	req, ok := decodeBatchRequest(w, r, s.maxB)
 	if !ok {
 		return
 	}
-	sm, ok := s.lookupModel(w, req.Model)
+	if !bindModelName(w, r, &req.Model) {
+		return
+	}
+	sm, ok := s.lookupModel(w, r, req.Model)
 	if !ok {
 		return
 	}
@@ -382,25 +478,103 @@ type shapeError string
 
 func (e shapeError) Error() string { return string(e) }
 
-func (s *Server) lookupModel(w http.ResponseWriter, name string) (*servedModel, bool) {
+func (s *Server) lookupModel(w http.ResponseWriter, r *http.Request, name string) (*servedModel, bool) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if name == "" {
 		// A single-model server does not need the name spelled out.
 		if len(s.models) == 1 {
 			for _, m := range s.models {
+				s.mu.RUnlock()
 				return m, true
 			}
 		}
+		s.mu.RUnlock()
 		writeError(w, http.StatusBadRequest, "model name required")
 		return nil, false
 	}
 	m, ok := s.models[name]
+	s.mu.RUnlock()
 	if !ok {
+		if m = s.pullFromPeers(r, name); m != nil {
+			return m, true
+		}
 		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
 		return nil, false
 	}
 	return m, true
+}
+
+// peerFetchHeader guards pull-on-miss against replica loops: a fetch
+// carrying it is answered from local state only.
+const peerFetchHeader = "X-Rcbt-Peer-Fetch"
+
+// pullFromPeers fetches the named model's envelope from the first
+// configured peer that has it, registers it locally, and returns the
+// served model — the replication read path. It returns nil when peers
+// are not configured, the incoming request is itself a peer fetch
+// (loop guard), or no peer has the model.
+func (s *Server) pullFromPeers(r *http.Request, name string) *servedModel {
+	if len(s.peers) == 0 || r.Header.Get(peerFetchHeader) != "" {
+		return nil
+	}
+	for _, peer := range s.peers {
+		m, err := s.fetchPeerModel(r.Context(), peer, name)
+		if err != nil {
+			if s.logger != nil {
+				s.logger.Warn("peer model fetch", "peer", peer, "model", name, "err", err)
+			}
+			continue
+		}
+		if err := s.RegisterModel(name, m); err != nil {
+			continue
+		}
+		if s.logger != nil {
+			s.logger.Info("model pulled from peer", "peer", peer, "model", name)
+		}
+		s.mu.RLock()
+		sm := s.models[name]
+		s.mu.RUnlock()
+		return sm
+	}
+	return nil
+}
+
+func (s *Server) fetchPeerModel(ctx context.Context, peer, name string) (*rcbt.Model, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		peer+"/v1/models/"+url.PathEscape(name), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(peerFetchHeader, "1")
+	resp, err := s.peerClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close() // vetsuite:allow uncheckederr -- read-only response body
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("peer %s: model %q: status %d", peer, name, resp.StatusCode)
+	}
+	return rcbt.LoadModel(io.LimitReader(resp.Body, maxBodyBytes))
+}
+
+// handleModelGet writes the model's envelope — the same JSON
+// rcbt.Model.Save persists — so replicas (and operators) can fetch a
+// servable copy of any model this replica holds.
+func (s *Server) handleModelGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	sm, ok := s.models[name]
+	s.mu.RUnlock()
+	if !ok {
+		if sm = s.pullFromPeers(r, name); sm == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown model %q", name))
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := sm.model.Save(w); err != nil && s.logger != nil {
+		s.logger.Error("write model envelope", "model", name, "err", err)
+	}
 }
 
 func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
@@ -428,7 +602,7 @@ func writeClassifyError(w http.ResponseWriter, err error) {
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+	writeJSON(w, code, errorResponse{Error: errorDetail{Code: codeForStatus(code), Message: msg}})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

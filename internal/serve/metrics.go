@@ -5,12 +5,29 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/jobs"
 )
+
+// metricPath collapses the high-cardinality path segments (model
+// names, job ids) to their route wildcards, so requests_total keeps a
+// bounded label set no matter how many models or jobs exist.
+func metricPath(p string) string {
+	if rest, ok := strings.CutPrefix(p, "/v1/models/"); ok && rest != "" {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			return "/v1/models/{name}" + rest[i:]
+		}
+		return "/v1/models/{name}"
+	}
+	if rest, ok := strings.CutPrefix(p, "/v1/jobs/"); ok && rest != "" {
+		return "/v1/jobs/{id}"
+	}
+	return p
+}
 
 // latencyBuckets are the upper bounds (seconds) of the request latency
 // histogram, chosen for a CPU-bound classifier: most single-row

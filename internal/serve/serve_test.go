@@ -72,12 +72,28 @@ func newTestServer(t *testing.T, cfg Config) *Server {
 	return s
 }
 
-func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+func postJSONRaw(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
 	req.Header.Set("Content-Type", "application/json")
 	rec := httptest.NewRecorder()
 	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// postJSON posts and follows a single 308 hop the way a real client
+// re-sends the body — so every legacy-path test exercises both the
+// redirect and the resource route it lands on.
+func postJSON(t *testing.T, s *Server, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := postJSONRaw(t, s, path, body)
+	if rec.Code == http.StatusPermanentRedirect {
+		loc := rec.Header().Get("Location")
+		if loc == "" {
+			t.Fatalf("308 from %s without a Location header", path)
+		}
+		rec = postJSONRaw(t, s, loc, body)
+	}
 	return rec
 }
 
@@ -291,11 +307,15 @@ func TestMetricsExposition(t *testing.T) {
 	}
 	text := rec.Body.String()
 	for _, want := range []string{
-		fmt.Sprintf(`rcbtserved_requests_total{path="/v1/classify",code="200"} %d`, d.NumRows()),
-		`rcbtserved_requests_total{path="/v1/classify",code="400"} 1`,
-		`rcbtserved_requests_total{path="/v1/classify",code="404"} 1`,
+		// Every legacy post is two requests: a 308 on the old path, then
+		// the real work on the resource route — whose model-name segment
+		// is collapsed to {name} so the label set stays bounded.
+		fmt.Sprintf(`rcbtserved_requests_total{path="/v1/classify",code="308"} %d`, d.NumRows()+2),
+		fmt.Sprintf(`rcbtserved_requests_total{path="/v1/models/{name}/classify",code="200"} %d`, d.NumRows()),
+		`rcbtserved_requests_total{path="/v1/models/{name}/classify",code="400"} 1`,
+		`rcbtserved_requests_total{path="/v1/models/{name}/classify",code="404"} 1`,
 		`rcbtserved_predictions_total{model="example",class="C"}`,
-		`rcbtserved_request_seconds_count 7`,
+		fmt.Sprintf(`rcbtserved_request_seconds_count %d`, 2*(d.NumRows()+2)),
 		// The scrape itself is the one in-flight request.
 		`rcbtserved_in_flight 1`,
 		`# TYPE rcbtserved_request_seconds histogram`,
@@ -303,6 +323,160 @@ func TestMetricsExposition(t *testing.T) {
 		if !strings.Contains(text, want) {
 			t.Fatalf("metrics missing %q in:\n%s", want, text)
 		}
+	}
+}
+
+// TestLegacyRedirect pins the one-release compatibility contract: the
+// pre-resource classify paths answer 308 with the model-scoped
+// location (resolved from the body, or the single served model) and a
+// Deprecation header.
+func TestLegacyRedirect(t *testing.T) {
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"example": exampleModel(t)}})
+	rec := postJSONRaw(t, s, "/v1/classify", `{"model": "example", "items": [0]}`)
+	if rec.Code != http.StatusPermanentRedirect {
+		t.Fatalf("status %d, want 308: %s", rec.Code, rec.Body)
+	}
+	if loc := rec.Header().Get("Location"); loc != "/v1/models/example/classify" {
+		t.Fatalf("Location = %q", loc)
+	}
+	if rec.Header().Get("Deprecation") == "" {
+		t.Error("redirect is missing the Deprecation header")
+	}
+	// A single-model server resolves a nameless legacy body.
+	rec = postJSONRaw(t, s, "/v1/classify/batch", `{"rows": [{"items":[0]}]}`)
+	if rec.Code != http.StatusPermanentRedirect ||
+		rec.Header().Get("Location") != "/v1/models/example/classify/batch" {
+		t.Fatalf("nameless batch redirect: %d %q", rec.Code, rec.Header().Get("Location"))
+	}
+	// Body/path mismatch on the resource route is rejected, not silently
+	// re-routed.
+	rec = postJSONRaw(t, s, "/v1/models/other/classify", `{"model": "example", "items": [0]}`)
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("mismatched model: status %d, want 400", rec.Code)
+	}
+}
+
+// TestErrorEnvelope pins the unified {"error":{"code","message"}}
+// shape across handler families.
+func TestErrorEnvelope(t *testing.T) {
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"example": exampleModel(t)}})
+	for name, tc := range map[string]struct {
+		path, body string
+		status     int
+		code       string
+	}{
+		"not found":     {"/v1/models/nope/classify", `{"items": [0]}`, http.StatusNotFound, "not_found"},
+		"bad request":   {"/v1/models/example/classify", `{`, http.StatusBadRequest, "bad_request"},
+		"unprocessable": {"/v1/models/example/classify", `{"items": [9999]}`, http.StatusUnprocessableEntity, "unprocessable"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			rec := postJSONRaw(t, s, tc.path, tc.body)
+			if rec.Code != tc.status {
+				t.Fatalf("status %d, want %d: %s", rec.Code, tc.status, rec.Body)
+			}
+			var resp struct {
+				Error struct {
+					Code    string `json:"code"`
+					Message string `json:"message"`
+				} `json:"error"`
+			}
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+				t.Fatalf("error body is not the envelope: %v in %s", err, rec.Body)
+			}
+			if resp.Error.Code != tc.code || resp.Error.Message == "" {
+				t.Fatalf("envelope = %+v, want code %q with a message", resp.Error, tc.code)
+			}
+		})
+	}
+}
+
+// TestModelEnvelopeGet: GET /v1/models/{name} returns the same
+// envelope Model.Save writes — loadable and serving identically.
+func TestModelEnvelopeGet(t *testing.T) {
+	m := exampleModel(t)
+	s := newTestServer(t, Config{Models: map[string]*rcbt.Model{"example": m}})
+	req := httptest.NewRequest(http.MethodGet, "/v1/models/example", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	loaded, err := rcbt.LoadModel(rec.Body)
+	if err != nil {
+		t.Fatalf("envelope does not load: %v", err)
+	}
+	d, _ := dataset.RunningExample()
+	for r := 0; r < d.NumRows(); r++ {
+		want, _ := m.Classifier.Predict(d.RowItemSet(r))
+		got, _ := loaded.Classifier.Predict(d.RowItemSet(r))
+		if got != want {
+			t.Fatalf("row %d: fetched model predicts %d, original %d", r, got, want)
+		}
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/v1/models/nope", nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown model: status %d, want 404", rec.Code)
+	}
+}
+
+// TestModelPullOnMiss: a replica without the model fetches the
+// envelope from its peer on first use, registers it, and serves it —
+// and the loop-guard header keeps a self-peering replica from
+// recursing.
+func TestModelPullOnMiss(t *testing.T) {
+	m := exampleModel(t)
+	origin := newTestServer(t, Config{Models: map[string]*rcbt.Model{"shared": m}})
+	originTS := httptest.NewServer(origin)
+	defer originTS.Close()
+
+	// The replica holds a different model, so it starts non-empty but
+	// misses "shared".
+	replica := newTestServer(t, Config{
+		Models: map[string]*rcbt.Model{"local": exampleModel(t)},
+		Peers:  []string{originTS.URL},
+	})
+	d, _ := dataset.RunningExample()
+	body, _ := json.Marshal(ClassifyRequest{Items: d.Rows[0]})
+	rec := postJSONRaw(t, replica, "/v1/models/shared/classify", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("pull-on-miss classify: %d %s", rec.Code, rec.Body)
+	}
+	var resp ClassifyResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := m.Classifier.Predict(d.RowItemSet(0))
+	if resp.Label != int(want) {
+		t.Fatalf("pulled model predicts %d, origin predicts %d", resp.Label, want)
+	}
+	// Loop guard: a request already marked as a peer fetch is answered
+	// from local state only — no pull happens even though the peer has
+	// the model, which is what breaks replica-to-replica cycles.
+	guarded := newTestServer(t, Config{
+		Models: map[string]*rcbt.Model{"local": exampleModel(t)},
+		Peers:  []string{originTS.URL},
+	})
+	req := httptest.NewRequest(http.MethodGet, "/v1/models/shared", nil)
+	req.Header.Set("X-Rcbt-Peer-Fetch", "1")
+	guardRec := httptest.NewRecorder()
+	guarded.ServeHTTP(guardRec, req)
+	if guardRec.Code != http.StatusNotFound {
+		t.Fatalf("guarded fetch: status %d, want 404", guardRec.Code)
+	}
+
+	// The model is now registered locally on the replica: listed, and
+	// served with the origin gone.
+	originTS.Close()
+	names := replica.ModelNames()
+	if len(names) != 2 || names[1] != "shared" {
+		t.Fatalf("replica models = %v, want [local shared]", names)
+	}
+	rec = postJSONRaw(t, replica, "/v1/models/shared/classify", string(body))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-pull classify: %d %s", rec.Code, rec.Body)
 	}
 }
 

@@ -3,16 +3,27 @@
 // rcbt.Model.Save / cmd/rcbt -save), classifies single rows and
 // bounded batches, and reports Prometheus-style metrics.
 //
-// Endpoints:
+// Endpoints (resource-oriented surface):
 //
-//	POST /v1/classify        classify one row of a named model
-//	POST /v1/classify/batch  classify up to Config.MaxBatch rows
-//	GET  /v1/models          list loaded models and their metadata
-//	POST   /v1/jobs          submit a mine/train job (with Config.Jobs)
-//	GET    /v1/jobs          list jobs, GET /v1/jobs/{id} one job
-//	DELETE /v1/jobs/{id}     cancel a job
-//	GET  /healthz            liveness probe
-//	GET  /metrics            Prometheus text exposition
+//	GET  /v1/models                        list loaded models and their metadata
+//	GET  /v1/models/{name}                 fetch a model's envelope (replication)
+//	POST /v1/models/{name}/classify        classify one row
+//	POST /v1/models/{name}/classify/batch  classify up to Config.MaxBatch rows
+//	POST   /v1/jobs                        submit a mine/train job (with Config.Jobs)
+//	GET    /v1/jobs                        list jobs, GET /v1/jobs/{id} one job
+//	DELETE /v1/jobs/{id}                   cancel a job
+//	GET  /healthz                          liveness probe
+//	GET  /metrics                          Prometheus text exposition
+//
+// The pre-resource paths POST /v1/classify and POST /v1/classify/batch
+// answer with 308 redirects onto the model-scoped routes for one
+// release. Every error body is the unified envelope
+// {"error":{"code","message"}}.
+//
+// With Config.Peers set, a model lookup that misses locally pulls the
+// envelope from the first peer replica that has it (GET
+// /v1/models/{name}) and registers it, so any replica serves any
+// model regardless of where its train job ran.
 //
 // All state is per-Server: tests and embedders can run any number of
 // instances in one process.
@@ -87,6 +98,14 @@ type Config struct {
 	// Logger receives one INFO record per request. nil disables
 	// request logging.
 	Logger *slog.Logger
+
+	// Peers are base URLs ("http://host:port") of replica servers. A
+	// model lookup that misses locally is retried against each peer's
+	// GET /v1/models/{name}; the fetched envelope is registered and
+	// served (pull-on-miss). Empty disables replication.
+	Peers []string
+	// PeerTimeout bounds one peer model fetch (0 = 5s).
+	PeerTimeout time.Duration
 }
 
 // Server is an http.Handler serving the classification API.
@@ -102,6 +121,9 @@ type Server struct {
 	logger    *slog.Logger
 	metrics   *metrics
 	mux       *http.ServeMux
+
+	peers      []string
+	peerClient *http.Client
 }
 
 // New validates cfg and builds a Server. With a Jobs manager it also
@@ -135,15 +157,29 @@ func New(cfg Config) (*Server, error) {
 	if s.cacheSize == 0 {
 		s.cacheSize = DefaultCacheSize
 	}
+	if len(cfg.Peers) > 0 {
+		s.peers = append([]string(nil), cfg.Peers...)
+		timeout := cfg.PeerTimeout
+		if timeout == 0 {
+			timeout = 5 * time.Second
+		}
+		s.peerClient = &http.Client{Timeout: timeout}
+	}
 	for name, m := range cfg.Models {
 		if err := s.RegisterModel(name, m); err != nil {
 			return nil, err
 		}
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/classify", s.handleClassify)
-	s.mux.HandleFunc("POST /v1/classify/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/models/{name}/classify", s.handleClassifyModel)
+	s.mux.HandleFunc("POST /v1/models/{name}/classify/batch", s.handleBatchModel)
 	s.mux.HandleFunc("GET /v1/models", s.handleModels)
+	s.mux.HandleFunc("GET /v1/models/{name}", s.handleModelGet)
+	// Pre-resource paths: one release of permanent redirects. 308
+	// preserves the method and body, so clients land on the new route
+	// with the original request intact.
+	s.mux.HandleFunc("POST /v1/classify", s.redirectLegacyClassify(""))
+	s.mux.HandleFunc("POST /v1/classify/batch", s.redirectLegacyClassify("/batch"))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if s.jobs != nil {
@@ -238,7 +274,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(sw, r)
 
 	elapsed := time.Since(start)
-	s.metrics.recordRequest(r.URL.Path, sw.code(), elapsed)
+	s.metrics.recordRequest(metricPath(r.URL.Path), sw.code(), elapsed)
 	if s.logger != nil {
 		s.logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
 			slog.String("method", r.Method),

@@ -185,31 +185,3 @@ func TestTrainRCBTZeroConfig(t *testing.T) {
 		t.Fatal("degenerate classifier")
 	}
 }
-
-// TestDeprecatedShims pins the one-release compatibility layer: the
-// legacy entry points must agree with the redesigned API.
-func TestDeprecatedShims(t *testing.T) {
-	d, _ := dataset.RunningExample()
-	want, err := topkrgs.Mine(context.Background(), d,
-		topkrgs.MineOptions{Minsup: 2, K: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	got, err := topkrgs.MineLegacy(d, 0, 2, 1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(want.PerRow, got.PerRow) {
-		t.Fatal("MineLegacy differs from Mine")
-	}
-	got, err = topkrgs.MineContext(context.Background(), d, 0, 2, 1, topkrgs.Options{Workers: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(want.PerRow, got.PerRow) {
-		t.Fatal("MineContext differs from Mine")
-	}
-	if _, err := topkrgs.TrainRCBTLegacy(d, topkrgs.RCBTConfig{K: 1, NL: 1, MinsupFrac: 0.5}); err != nil {
-		t.Fatal(err)
-	}
-}
