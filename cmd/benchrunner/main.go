@@ -28,7 +28,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, fig6, fig6e, table2, fig7, fig8, defaultclass, minsupsweep, groupcount, topgenes, ablation, parallelspeedup, speedup, perf, all")
+	exp := flag.String("exp", "all", "experiment: table1, fig6, fig6e, table2, fig7, fig8, defaultclass, minsupsweep, groupcount, topgenes, ablation, parallelspeedup, speedup, perf, refresh, all")
 	scale := flag.Int("scale", 1, "gene-count divisor (1 = paper scale)")
 	budget := flag.Int("budget", 3_000_000, "baseline node budget before DNF")
 	topkBudget := flag.Int("topkbudget", 0, "optional MineTopkRGS node budget in fig6 (0 = unbounded)")
@@ -41,6 +41,7 @@ func main() {
 	workerSweep := flag.String("workersweep", "", "comma-separated worker counts for parallelspeedup/speedup (e.g. 1,2,4,8)")
 	topk := flag.Int("k", 0, "for -exp speedup: top-k list length per row (0 = experiment default)")
 	assertSpeedup := flag.Float64("assert-speedup", 0, "for -exp speedup: fail unless the 4-worker topk run on the largest dataset reaches this speedup over sequential (skipped with a warning when the machine has fewer than 4 CPUs)")
+	refreshChunks := flag.Int("refresh-chunks", 8, "for -exp refresh: number of append batches replayed")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -300,6 +301,28 @@ func main() {
 				pt.Dataset, pt.Speedup, *assertSpeedup)
 		}
 		return nil
+	})
+	run("refresh", func() error {
+		pts, err := bench.RefreshBench(ctx, w, *scale, *refreshChunks)
+		if err != nil {
+			return err
+		}
+		// The sweep is archived across PRs next to the serving points.
+		out := *jsonOut
+		if out == "" {
+			out = "BENCH_refresh.json"
+		}
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(pts); err != nil {
+			_ = f.Close()
+			return err
+		}
+		return f.Close()
 	})
 	run("parallelspeedup", func() error {
 		var counts []int

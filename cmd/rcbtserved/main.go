@@ -7,6 +7,7 @@
 //	rcbtserved [-model name=model.json ...] [-data-dir dir] \
 //	    [-dataset name=matrix.txt ...] [-peers url,url,...] \
 //	    [-job-workers 2] [-job-queue 64] [-job-timeout 0] \
+//	    [-refresh-after 150ms] [-keep-versions 0] \
 //	    [-addr :8344] [-timeout 5s] [-max-batch 1024] [-batch-workers 4]
 //
 // Each -model flag loads one JSON model envelope (written by
@@ -20,6 +21,10 @@
 //	POST   /v1/jobs                        submit a mine/train job (needs -data-dir)
 //	GET    /v1/jobs[/{id}]                 list jobs / fetch one
 //	DELETE /v1/jobs/{id}                   cancel a job
+//	POST /v1/datasets                      create a streaming dataset (needs -data-dir)
+//	POST /v1/datasets/{name}/rows          append rows; triggers a debounced re-train
+//	GET  /v1/datasets[/{name}]             list datasets / inspect the latest version
+//	GET  /v1/datasets/{name}/versions/{v}  inspect a pinned snapshot version
 //	GET  /healthz                          liveness probe
 //	GET  /metrics                          Prometheus text exposition
 //
@@ -32,6 +37,17 @@
 // expression matrix for job submissions to reference by name: it is
 // discretized at startup (entropy-MDL) and models trained on it bundle
 // the cuts, so they classify raw expression rows.
+//
+// -data-dir also enables streaming ingestion: datasets created over
+// POST /v1/datasets persist as immutable versioned snapshots under
+// <dir>/datasets and survive restarts. Appending rows mints a new
+// version via an incremental refresh (only genes whose entropy-MDL
+// cuts changed are re-discretized) and, after -refresh-after of
+// quiet, re-trains and hot-swaps the dataset's model with zero
+// downtime. Job submissions reference "{name}" for the latest version
+// or "{name}@{v}" to pin one; -keep-versions bounds how many snapshot
+// versions are retained per dataset (0 = all; a pinned reference to a
+// pruned version answers 409).
 //
 // -peers turns the process into a cluster node. It names the other
 // replicas' base URLs and enables two things: mine jobs submitted with
@@ -58,12 +74,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/datastore"
 	"repro/internal/discretize"
 	"repro/internal/engine"
 	"repro/internal/jobs"
@@ -109,6 +127,8 @@ func main() {
 	jobWorkers := flag.Int("job-workers", 2, "concurrent jobs")
 	jobQueue := flag.Int("job-queue", 64, "max queued jobs")
 	jobTimeout := flag.Duration("job-timeout", 0, "default per-job deadline (0 = unbounded)")
+	refreshAfter := flag.Duration("refresh-after", serve.DefaultRefreshAfter, "quiet period after an append before auto re-train (negative disables)")
+	keepVersions := flag.Int("keep-versions", 0, "snapshot versions retained per streaming dataset (0 = all)")
 	peersFlag := flag.String("peers", "", "comma-separated replica base URLs; enables cluster mining and model replication")
 	flag.Parse()
 
@@ -160,6 +180,7 @@ func main() {
 	}
 
 	var mgr *jobs.Manager
+	var store *datastore.Store
 	if *dataDir != "" {
 		var err error
 		mgr, err = jobs.Open(context.Background(), jobs.Config{
@@ -172,12 +193,29 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
+		store, err = datastore.Open(datastore.Config{
+			Dir:          filepath.Join(*dataDir, "datasets"),
+			KeepVersions: *keepVersions,
+		})
+		if err != nil {
+			fail(err)
+		}
+		for _, name := range store.Names() {
+			snap, err := store.Get(name)
+			if err != nil {
+				continue
+			}
+			logger.Info("streaming dataset recovered", "name", name,
+				"version", snap.Version, "rows", len(snap.Dataset.Rows))
+		}
 	}
 
 	s, err := serve.New(serve.Config{
 		Models:         loaded,
 		Jobs:           mgr,
 		Datasets:       named,
+		Store:          store,
+		RefreshAfter:   *refreshAfter,
 		RequestTimeout: *timeout,
 		MaxBatch:       *maxBatch,
 		BatchWorkers:   *batchWorkers,
@@ -214,10 +252,12 @@ func main() {
 		}
 	case <-ctx.Done():
 		logger.Info("shutting down")
-		// Shutdown order matters: refuse new job submissions first (503
-		// while draining), then cancel running jobs and wait for their
-		// final journal writes, then drain in-flight HTTP requests — so a
+		// Shutdown order matters: stop the refresh debouncer (no new
+		// auto-train submissions), refuse new job submissions (503 while
+		// draining), then cancel running jobs and wait for their final
+		// journal writes, then drain in-flight HTTP requests — so a
 		// client polling a canceled job can still read its terminal state.
+		s.Close()
 		if mgr != nil {
 			mgr.Drain()
 			if err := mgr.Close(); err != nil {

@@ -8,8 +8,9 @@ import (
 
 // UncheckedErrAnalyzer flags dropped error returns in the packages that
 // talk to the outside world: cmd/ binaries, the internal/bench and
-// internal/report writers, the internal/serve HTTP layer, and the
-// internal/jobs journal. A call whose error result is discarded by an
+// internal/report writers, the internal/serve HTTP layer, the
+// internal/jobs journal, and the internal/datastore snapshot
+// persistence. A call whose error result is discarded by an
 // expression statement (or a deferred call) silently loses ENOSPC on
 // result files, truncated model saves, and torn job journals.
 //
@@ -23,7 +24,7 @@ import (
 // *os.File is flagged.
 var UncheckedErrAnalyzer = &Analyzer{
 	Name: "uncheckederr",
-	Doc:  "flags dropped error returns in cmd/, internal/bench, internal/report, internal/serve and internal/jobs",
+	Doc:  "flags dropped error returns in cmd/, internal/bench, internal/report, internal/serve, internal/jobs and internal/datastore",
 	Run:  runUncheckedErr,
 }
 
@@ -34,7 +35,8 @@ func uncheckedErrScope(path string) bool {
 		strings.HasSuffix(path, "/internal/bench") ||
 		strings.HasSuffix(path, "/internal/report") ||
 		strings.HasSuffix(path, "/internal/serve") ||
-		strings.HasSuffix(path, "/internal/jobs")
+		strings.HasSuffix(path, "/internal/jobs") ||
+		strings.HasSuffix(path, "/internal/datastore")
 }
 
 func runUncheckedErr(pass *Pass) {

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/datastore"
+	"repro/internal/discretize"
+	"repro/internal/rcbt"
+	"repro/internal/synth"
+)
+
+// RefreshPoint is one append in the streaming-ingestion sweep: the
+// wall time of the datastore's incremental snapshot build against a
+// from-scratch rebuild of the same version, plus the retrain cost both
+// paths share. The archived points (BENCH_refresh.json) track the
+// ingestion path's perf trajectory across PRs.
+type RefreshPoint struct {
+	Dataset       string  `json:"dataset"`
+	Version       int     `json:"version"`
+	Rows          int     `json:"rows"` // rows after the append
+	Genes         int     `json:"genes"`
+	AppendedRows  int     `json:"appended_rows"`
+	FastPath      bool    `json:"fast_path"`
+	ChangedGenes  int     `json:"changed_genes"`
+	ReusedGenes   int     `json:"reused_genes"`
+	IncrementalMs float64 `json:"incremental_ms"` // the refresh build alone (fit + rebuild)
+	AppendMs      float64 `json:"append_ms"`      // full Store.Append wall incl. snapshot persist
+	FullMs        float64 `json:"full_ms"`        // from-scratch fit + transform + index
+	TrainMs       float64 `json:"train_ms"`       // rcbt retrain both paths pay
+	Speedup       float64 `json:"speedup"`        // FullMs / IncrementalMs
+}
+
+// RefreshBench replays a streaming ingestion: the PC profile's cohort
+// is split into an initial load plus `chunks` appended batches, and
+// each append times the datastore's incremental refresh against a
+// from-scratch discretize+transform+index of the same matrix. The
+// incremental column is the refresh build alone (RefreshStats
+// BuildNanos); the append column adds snapshot persistence, the cost a
+// from-scratch rebuild would pay identically.
+func RefreshBench(ctx context.Context, w io.Writer, scale, chunks int) ([]RefreshPoint, error) {
+	if chunks <= 0 {
+		chunks = 8
+	}
+	p := synth.Scaled(synth.PC(), scale)
+	train, _, err := synth.Generate(p)
+	if err != nil {
+		return nil, err
+	}
+	rows := train.NumRows()
+	// Hold out ~25% of the cohort for the appends; every chunk must be
+	// non-empty.
+	held := rows / 4
+	if held < chunks {
+		held = chunks
+	}
+	if held >= rows {
+		return nil, fmt.Errorf("bench: refresh: %d rows cannot seed %d append chunks", rows, chunks)
+	}
+	initial := rows - held
+
+	dir, err := os.MkdirTemp("", "refreshbench")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir) // vetsuite:allow uncheckederr -- best-effort temp dir cleanup
+	store, err := datastore.Open(datastore.Config{Dir: dir, KeepVersions: 2})
+	if err != nil {
+		return nil, err
+	}
+	// Scaled profile names carry a "/" ("PC/4"); datastore names are
+	// path-safe, so slashes become dashes.
+	name := strings.ReplaceAll(p.Name, "/", "-")
+	if _, err := store.Create(name, train.ClassNames, train.GeneNames,
+		train.Values[:initial], train.Labels[:initial]); err != nil {
+		return nil, err
+	}
+	// Force the transposed index so the fast path exercises incremental
+	// index growth, the serving-shaped configuration.
+	if snap, err := store.Get(name); err == nil && snap.Dataset.NumItems() > 0 {
+		snap.Dataset.ItemRows(0)
+	}
+
+	header(w, fmt.Sprintf("Streaming refresh: %s (%d rows initial, %d appends of ~%d rows)",
+		p.Name, initial, chunks, held/chunks))
+	fmt.Fprintf(w, "%-4s %7s %7s %5s %8s %8s %10s %10s %10s %9s %8s\n",
+		"ver", "rows", "append", "fast", "changed", "reused", "incr ms", "wall ms", "full ms", "train ms", "speedup")
+
+	var out []RefreshPoint
+	at := initial
+	for c := 0; c < chunks; c++ {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		end := initial + (c+1)*held/chunks
+		if end <= at {
+			continue
+		}
+		start := time.Now()
+		snap, err := store.Append(name, train.Values[at:end], train.Labels[at:end])
+		if err != nil {
+			return out, err
+		}
+		incr := time.Since(start)
+
+		m := &dataset.Matrix{
+			GeneNames:  train.GeneNames,
+			Values:     train.Values[:end],
+			Labels:     train.Labels[:end],
+			ClassNames: train.ClassNames,
+		}
+		start = time.Now()
+		dz, err := discretize.FitMatrix(m)
+		if err != nil {
+			return out, err
+		}
+		full, err := dz.Transform(m)
+		if err != nil {
+			return out, err
+		}
+		if full.NumItems() > 0 {
+			full.ItemRows(0)
+		}
+		fullDur := time.Since(start)
+
+		start = time.Now()
+		if _, err := rcbt.TrainContext(ctx, snap.Dataset, rcbt.DefaultConfig()); err != nil {
+			return out, err
+		}
+		trainDur := time.Since(start)
+
+		pt := RefreshPoint{
+			Dataset:       p.Name,
+			Version:       snap.Version,
+			Rows:          end,
+			Genes:         train.NumGenes(),
+			AppendedRows:  end - at,
+			FastPath:      snap.Refresh.FastPath,
+			ChangedGenes:  snap.Refresh.ChangedGenes,
+			ReusedGenes:   snap.Refresh.ReusedGenes,
+			IncrementalMs: float64(snap.Refresh.BuildNanos) / 1e6,
+			AppendMs:      float64(incr.Nanoseconds()) / 1e6,
+			FullMs:        float64(fullDur.Nanoseconds()) / 1e6,
+			TrainMs:       float64(trainDur.Nanoseconds()) / 1e6,
+		}
+		if pt.IncrementalMs > 0 {
+			pt.Speedup = pt.FullMs / pt.IncrementalMs
+		}
+		out = append(out, pt)
+		fmt.Fprintf(w, "%-4d %7d %7d %5v %8d %8d %10.2f %10.2f %10.2f %9.2f %7.2fx\n",
+			pt.Version, pt.Rows, pt.AppendedRows, pt.FastPath,
+			pt.ChangedGenes, pt.ReusedGenes,
+			pt.IncrementalMs, pt.AppendMs, pt.FullMs, pt.TrainMs, pt.Speedup)
+		at = end
+	}
+	return out, nil
+}

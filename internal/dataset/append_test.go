@@ -1,0 +1,82 @@
+package dataset
+
+import (
+	"reflect"
+	"testing"
+)
+
+func appendFixture() *Dataset {
+	return &Dataset{
+		Items: []Item{
+			{Gene: 0, GeneName: "g0", Lo: 0, Hi: 1},
+			{Gene: 0, GeneName: "g0", Lo: 1, Hi: 2},
+			{Gene: 1, GeneName: "g1", Lo: 0, Hi: 1},
+		},
+		Rows:       [][]int{{0, 2}, {1}, {1, 2}},
+		Labels:     []Label{0, 1, 1},
+		ClassNames: []string{"a", "b"},
+	}
+}
+
+func TestAppendRows(t *testing.T) {
+	d := appendFixture()
+	d.ItemRows(0) // build the index so the incremental-growth path runs
+
+	nd, err := d.AppendRows([][]int{{0}, {1, 2}}, []Label{1, 0})
+	if err != nil {
+		t.Fatalf("AppendRows: %v", err)
+	}
+	if err := nd.Validate(); err != nil {
+		t.Fatalf("appended dataset invalid: %v", err)
+	}
+	if nd.NumRows() != 5 || d.NumRows() != 3 {
+		t.Fatalf("rows: new %d (want 5), old %d (want 3)", nd.NumRows(), d.NumRows())
+	}
+	if !reflect.DeepEqual(nd.Rows[3], []int{0}) || !reflect.DeepEqual(nd.Rows[4], []int{1, 2}) {
+		t.Fatalf("appended rows %v", nd.Rows[3:])
+	}
+
+	// The incrementally grown index must equal a from-scratch build.
+	fresh := &Dataset{Items: nd.Items, Rows: nd.Rows, Labels: nd.Labels, ClassNames: nd.ClassNames}
+	for i := range nd.Items {
+		if !nd.ItemRows(i).Equal(fresh.ItemRows(i)) {
+			t.Fatalf("item %d: incremental index %v != fresh %v",
+				i, nd.ItemRows(i).Indices(), fresh.ItemRows(i).Indices())
+		}
+	}
+	// Old dataset's index is untouched.
+	if d.ItemRows(0).Count() != 1 {
+		t.Fatalf("old index mutated: item 0 in %d rows", d.ItemRows(0).Count())
+	}
+}
+
+func TestAppendRowsLazyIndex(t *testing.T) {
+	d := appendFixture() // index never built
+	nd, err := d.AppendRows([][]int{{2}}, []Label{0})
+	if err != nil {
+		t.Fatalf("AppendRows: %v", err)
+	}
+	if got := nd.ItemRows(2).Count(); got != 3 {
+		t.Fatalf("lazily built index: item 2 in %d rows, want 3", got)
+	}
+}
+
+func TestAppendRowsRejectsBadInput(t *testing.T) {
+	d := appendFixture()
+	cases := []struct {
+		rows   [][]int
+		labels []Label
+	}{
+		{[][]int{{0}}, nil},           // length mismatch
+		{[][]int{{2, 0}}, []Label{0}}, // unsorted
+		{[][]int{{0, 0}}, []Label{0}}, // duplicate item
+		{[][]int{{3}}, []Label{0}},    // item out of range
+		{[][]int{{-1}}, []Label{0}},   // negative item
+		{[][]int{{0}}, []Label{2}},    // label out of range
+	}
+	for i, c := range cases {
+		if _, err := d.AppendRows(c.rows, c.labels); err == nil {
+			t.Errorf("case %d: AppendRows accepted bad input", i)
+		}
+	}
+}

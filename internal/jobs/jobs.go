@@ -144,8 +144,14 @@ type Spec struct {
 	// A later train job may reuse a name; the newest model wins.
 	ModelName string `json:"modelName,omitempty"`
 	// Dataset is provenance only at this layer: the registered dataset
-	// name the HTTP layer resolved (or "" for an inline payload).
+	// name the HTTP layer resolved (or "" for an inline payload). With
+	// a datastore it may be a pinned "name@version" reference.
 	Dataset string `json:"dataset,omitempty"`
+	// DatasetVersion is the datastore snapshot version the dataset was
+	// resolved to (0 = unversioned: a -dataset file or inline rows).
+	// Train jobs stamp it into the persisted model's Meta so operators
+	// can see which snapshot a serving model was trained on.
+	DatasetVersion int `json:"datasetVersion,omitempty"`
 }
 
 // Data is the resolved dataset a job runs on. The manager keeps it
@@ -157,6 +163,9 @@ type Data struct {
 	Discretizer *discretize.Discretizer
 	// Name is recorded as Spec.Dataset / model provenance.
 	Name string
+	// Version is the datastore snapshot version the dataset came from
+	// (0 = unversioned). Recorded as Spec.DatasetVersion / model Meta.
+	Version int
 }
 
 // Progress is the journaled form of the engine's progress snapshots.

@@ -149,6 +149,12 @@ func (m *Manager) validate(spec *Spec, data Data) error {
 	if spec.Dataset == "" {
 		spec.Dataset = data.Name
 	}
+	if spec.DatasetVersion == 0 {
+		spec.DatasetVersion = data.Version
+	}
+	if spec.DatasetVersion < 0 {
+		return bad("datasetVersion %d is negative", spec.DatasetVersion)
+	}
 	switch spec.Kind {
 	case KindMine:
 		if spec.Miner == "" {
@@ -625,9 +631,10 @@ func (m *Manager) runTrain(ctx context.Context, id string, spec Spec, data Data,
 		ClassNames:  d.ClassNames,
 		NumItems:    d.NumItems(),
 		Meta: rcbt.Meta{
-			Dataset:   spec.Dataset,
-			TrainRows: d.NumRows(),
-			CreatedAt: time.Now().UTC().Format(time.RFC3339),
+			Dataset:        spec.Dataset,
+			DatasetVersion: spec.DatasetVersion,
+			TrainRows:      d.NumRows(),
+			CreatedAt:      time.Now().UTC().Format(time.RFC3339),
 		},
 	}
 	path := filepath.Join(m.modelsDir, name+".json")

@@ -1,0 +1,107 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// Refresher debounces auto-refresh triggers: every dataset append calls
+// Trigger(name), and once appends go quiet for the configured delay the
+// fire callback runs once for that name — so a burst of appends costs
+// one re-train, on the latest snapshot, instead of one per row batch.
+//
+// The debounce is trailing-edge with a starvation cap: each Trigger
+// resets the name's timer, but a name that has been waiting longer than
+// maxDelayFactor x delay fires immediately even if appends keep
+// arriving, so a steady ingest stream still refreshes its model.
+//
+// Fire callbacks run on timer goroutines, one name at a time per name;
+// the callback resolves the latest snapshot itself, which is why
+// Trigger carries no payload — the last append before the timer fires
+// wins, and intermediate versions are never trained needlessly.
+type Refresher struct {
+	delay time.Duration
+	fire  func(name string)
+
+	mu      sync.Mutex
+	timers  map[string]*time.Timer
+	waiting map[string]time.Time // first un-fired Trigger per name
+	stopped bool
+}
+
+// maxDelayFactor bounds how long a steadily-appended dataset can be
+// starved by timer resets: once the oldest pending trigger is older
+// than maxDelayFactor x delay, the next Trigger fires synchronously.
+const maxDelayFactor = 8
+
+// NewRefresher builds a refresher firing fn after delay of quiet. A
+// non-positive delay fires synchronously on every Trigger (no
+// debounce), which keeps tests deterministic.
+func NewRefresher(delay time.Duration, fn func(name string)) *Refresher {
+	return &Refresher{
+		delay:   delay,
+		fire:    fn,
+		timers:  map[string]*time.Timer{},
+		waiting: map[string]time.Time{},
+	}
+}
+
+// Trigger schedules (or reschedules) a refresh of name.
+func (r *Refresher) Trigger(name string) {
+	if r.delay <= 0 {
+		r.fire(name)
+		return
+	}
+	now := time.Now()
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	first, pending := r.waiting[name]
+	if pending && now.Sub(first) >= maxDelayFactor*r.delay {
+		// Starvation cap: stop resetting and fire now.
+		if t := r.timers[name]; t != nil {
+			t.Stop()
+			delete(r.timers, name)
+		}
+		delete(r.waiting, name)
+		r.mu.Unlock()
+		r.fire(name)
+		return
+	}
+	if !pending {
+		r.waiting[name] = now
+	}
+	if t := r.timers[name]; t != nil {
+		t.Stop()
+	}
+	r.timers[name] = time.AfterFunc(r.delay, func() { r.expire(name) })
+	r.mu.Unlock()
+}
+
+// expire runs on the timer goroutine when a name's quiet period ends.
+func (r *Refresher) expire(name string) {
+	r.mu.Lock()
+	if r.stopped {
+		r.mu.Unlock()
+		return
+	}
+	delete(r.timers, name)
+	delete(r.waiting, name)
+	r.mu.Unlock()
+	r.fire(name)
+}
+
+// Stop cancels every pending timer; subsequent Triggers are ignored.
+// It does not wait for in-flight fire callbacks.
+func (r *Refresher) Stop() {
+	r.mu.Lock()
+	r.stopped = true
+	for name, t := range r.timers {
+		t.Stop()
+		delete(r.timers, name)
+	}
+	r.waiting = map[string]time.Time{}
+	r.mu.Unlock()
+}

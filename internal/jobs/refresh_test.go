@@ -1,0 +1,88 @@
+package jobs
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRefresherSynchronousWhenNoDelay(t *testing.T) {
+	var fired atomic.Int32
+	r := NewRefresher(0, func(string) { fired.Add(1) })
+	defer r.Stop()
+	r.Trigger("d")
+	r.Trigger("d")
+	if got := fired.Load(); got != 2 {
+		t.Fatalf("zero-delay refresher fired %d times, want 2 (synchronous)", got)
+	}
+}
+
+func TestRefresherDebouncesBurst(t *testing.T) {
+	var mu sync.Mutex
+	fired := map[string]int{}
+	done := make(chan string, 8)
+	r := NewRefresher(30*time.Millisecond, func(name string) {
+		mu.Lock()
+		fired[name]++
+		mu.Unlock()
+		done <- name
+	})
+	defer r.Stop()
+
+	for i := 0; i < 5; i++ {
+		r.Trigger("d")
+		time.Sleep(2 * time.Millisecond)
+	}
+	r.Trigger("other")
+
+	for i := 0; i < 2; i++ {
+		select {
+		case <-done:
+		case <-time.After(2 * time.Second):
+			t.Fatal("refresher never fired")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fired["d"] != 1 {
+		t.Fatalf("burst fired %d times for d, want 1", fired["d"])
+	}
+	if fired["other"] != 1 {
+		t.Fatalf("fired %d times for other, want 1", fired["other"])
+	}
+}
+
+// TestRefresherStarvationCap triggers faster than the debounce window
+// forever; the max-delay cap must fire anyway.
+func TestRefresherStarvationCap(t *testing.T) {
+	done := make(chan struct{}, 4)
+	r := NewRefresher(10*time.Millisecond, func(string) { done <- struct{}{} })
+	defer r.Stop()
+
+	deadline := time.After(5 * time.Second)
+	tick := time.NewTicker(3 * time.Millisecond) // < delay: timer resets forever
+	defer tick.Stop()
+	for {
+		select {
+		case <-done:
+			return // cap fired despite the steady trigger stream
+		case <-tick.C:
+			r.Trigger("d")
+		case <-deadline:
+			t.Fatal("starvation cap never fired")
+		}
+	}
+}
+
+func TestRefresherStop(t *testing.T) {
+	var fired atomic.Int32
+	r := NewRefresher(5*time.Millisecond, func(string) { fired.Add(1) })
+	r.Trigger("d")
+	r.Stop()
+	r.Trigger("d") // ignored after Stop
+	time.Sleep(30 * time.Millisecond)
+	if got := fired.Load(); got != 0 {
+		t.Fatalf("stopped refresher fired %d times", got)
+	}
+}

@@ -25,6 +25,10 @@ const modelKind = "rcbt-model"
 type Meta struct {
 	// Dataset names the training data (file path or profile name).
 	Dataset string `json:"dataset,omitempty"`
+	// DatasetVersion is the datastore snapshot version the model was
+	// trained on (0 = unversioned data: a file or an inline payload).
+	// Operators use it to see which snapshot a serving model reflects.
+	DatasetVersion int `json:"datasetVersion,omitempty"`
 	// TrainRows / Genes record the training matrix shape.
 	TrainRows int `json:"trainRows,omitempty"`
 	Genes     int `json:"genes,omitempty"`

@@ -447,8 +447,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeProm(w)
 	s.writeCacheMetrics(w)
+	s.writeModelVersionMetrics(w)
 	if s.jobs != nil {
 		writeJobMetrics(w, s.jobs.Metrics())
+	}
+	if s.store != nil {
+		s.writeDatasetMetrics(w)
 	}
 }
 

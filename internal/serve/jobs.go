@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/datastore"
 	"repro/internal/jobs"
 )
 
@@ -98,13 +99,11 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		data = jobs.Data{Dataset: d}
 	case req.Spec.Dataset != "":
-		nd, ok := s.datasets[req.Spec.Dataset]
+		resolved, ok := s.resolveJobDataset(w, req.Spec.Dataset)
 		if !ok {
-			writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (have %v)",
-				req.Spec.Dataset, s.datasetNames()))
 			return
 		}
-		data = jobs.Data{Dataset: nd.Dataset, Discretizer: nd.Discretizer, Name: req.Spec.Dataset}
+		data = resolved
 	default:
 		writeError(w, http.StatusBadRequest, "set one of dataset (registered name) or data (inline rows)")
 		return
@@ -139,10 +138,57 @@ func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rec)
 }
 
+// resolveJobDataset turns a job submission's dataset reference into
+// job data. With a datastore configured the store is consulted first:
+// "{name}" resolves the latest snapshot, "{name}@{v}" pins a specific
+// version (a pruned version is a 409 — the reference was once valid
+// but its snapshot is gone). A name the store does not know falls back
+// to the static registered-dataset map, so file-backed -dataset
+// serving keeps working unchanged alongside streaming ingestion.
+func (s *Server) resolveJobDataset(w http.ResponseWriter, ref string) (jobs.Data, bool) {
+	if s.store != nil {
+		snap, err := s.store.Resolve(ref)
+		switch {
+		case err == nil:
+			return jobs.Data{
+				Dataset:     snap.Dataset,
+				Discretizer: snap.Discretizer,
+				Name:        snap.Name,
+				Version:     snap.Version,
+			}, true
+		case errors.Is(err, datastore.ErrNotFound):
+			// Fall through to the static map.
+		default:
+			writeDatasetError(w, err)
+			return jobs.Data{}, false
+		}
+	}
+	nd, ok := s.datasets[ref]
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("unknown dataset %q (have %v)",
+			ref, s.datasetNames()))
+		return jobs.Data{}, false
+	}
+	return jobs.Data{Dataset: nd.Dataset, Discretizer: nd.Discretizer, Name: ref}, true
+}
+
+// datasetNames lists every resolvable dataset name: the static map
+// plus the datastore's, deduplicated and sorted (for 404 diagnostics).
 func (s *Server) datasetNames() []string {
 	names := make([]string, 0, len(s.datasets))
 	for n := range s.datasets {
 		names = append(names, n)
+	}
+	if s.store != nil {
+		seen := make(map[string]bool, len(names))
+		for _, n := range names {
+			seen[n] = true
+		}
+		for _, n := range s.store.Names() {
+			if !seen[n] {
+				names = append(names, n)
+			}
+		}
 	}
 	sort.Strings(names)
 	return names

@@ -26,6 +26,16 @@ func metricPath(p string) string {
 	if rest, ok := strings.CutPrefix(p, "/v1/jobs/"); ok && rest != "" {
 		return "/v1/jobs/{id}"
 	}
+	if rest, ok := strings.CutPrefix(p, "/v1/datasets/"); ok && rest != "" {
+		tail := ""
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			tail = rest[i:]
+			if strings.HasPrefix(tail, "/versions/") && len(tail) > len("/versions/") {
+				tail = "/versions/{v}"
+			}
+		}
+		return "/v1/datasets/{name}" + tail
+	}
 	return p
 }
 

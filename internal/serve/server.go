@@ -12,8 +12,14 @@
 //	POST   /v1/jobs                        submit a mine/train job (with Config.Jobs)
 //	GET    /v1/jobs                        list jobs, GET /v1/jobs/{id} one job
 //	DELETE /v1/jobs/{id}                   cancel a job
+//	POST /v1/datasets                      create a versioned dataset (with Config.Store)
+//	POST /v1/datasets/{name}/rows          append rows → new snapshot + auto-refresh
+//	GET  /v1/datasets                      list datasets; /{name} latest, /{name}/versions/{v} pinned
 //	GET  /healthz                          liveness probe
 //	GET  /metrics                          Prometheus text exposition
+//
+// Job submissions reference datastore datasets as "{name}" (latest
+// snapshot) or "{name}@{v}" (pinned version; 409 once pruned).
 //
 // The pre-resource paths POST /v1/classify and POST /v1/classify/batch
 // answer with 308 redirects onto the model-scoped routes for one
@@ -41,6 +47,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/datastore"
 	"repro/internal/discretize"
 	"repro/internal/jobs"
 	"repro/internal/rcbt"
@@ -51,6 +58,9 @@ const (
 	DefaultRequestTimeout = 5 * time.Second
 	DefaultMaxBatch       = 1024
 	DefaultBatchWorkers   = 4
+	// DefaultRefreshAfter is the auto-refresh debounce: how long a
+	// dataset's appends must go quiet before a re-train job fires.
+	DefaultRefreshAfter = 150 * time.Millisecond
 )
 
 // NamedDataset is a training dataset registered under a name, so job
@@ -77,6 +87,24 @@ type Config struct {
 	// Datasets are the named datasets job submissions may train or
 	// mine on ({"dataset": "<name>"} in the request body).
 	Datasets map[string]NamedDataset
+
+	// Store, when non-nil, enables the /v1/datasets streaming-ingestion
+	// endpoints. Job submissions resolve dataset references through the
+	// store first — "{name}" takes the latest snapshot, "{name}@{v}"
+	// pins one — falling back to the static Datasets map.
+	Store *datastore.Store
+
+	// RefreshAfter is the auto-refresh debounce: once a dataset's
+	// appends go quiet for this long, a train job on its latest
+	// snapshot is submitted and the resulting model hot-swapped in.
+	// 0 means DefaultRefreshAfter; negative disables auto-refresh.
+	// Requires both Store and Jobs.
+	RefreshAfter time.Duration
+
+	// RefreshSpec is the template for auto-refresh train jobs (K, NL,
+	// minsup, timeout...). Kind is forced to "train" and an empty
+	// ModelName defaults to the dataset's name.
+	RefreshSpec jobs.Spec
 
 	// RequestTimeout bounds the handling of a single request. When it
 	// expires mid-request the response is 504 Gateway Timeout.
@@ -122,6 +150,10 @@ type Server struct {
 	metrics   *metrics
 	mux       *http.ServeMux
 
+	store       *datastore.Store
+	refresher   *jobs.Refresher
+	refreshSpec jobs.Spec
+
 	peers      []string
 	peerClient *http.Client
 }
@@ -131,13 +163,14 @@ type Server struct {
 // train jobs (newest submission wins a name) and hooks new train jobs
 // to hot-register their models.
 func New(cfg Config) (*Server, error) {
-	if len(cfg.Models) == 0 && cfg.Jobs == nil {
+	if len(cfg.Models) == 0 && cfg.Jobs == nil && cfg.Store == nil {
 		return nil, errors.New("serve: no models configured and no jobs manager")
 	}
 	s := &Server{
 		models:    make(map[string]*servedModel, len(cfg.Models)),
 		jobs:      cfg.Jobs,
 		datasets:  cfg.Datasets,
+		store:     cfg.Store,
 		timeout:   cfg.RequestTimeout,
 		maxB:      cfg.MaxBatch,
 		workers:   cfg.BatchWorkers,
@@ -193,6 +226,21 @@ func New(cfg Config) (*Server, error) {
 				s.logger.Error("hot-register model", "name", name, "err", err)
 			}
 		})
+	}
+	if s.store != nil {
+		s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetCreate)
+		s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+		s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
+		s.mux.HandleFunc("GET /v1/datasets/{name}/versions/{v}", s.handleDatasetGetVersion)
+		s.mux.HandleFunc("POST /v1/datasets/{name}/rows", s.handleDatasetAppend)
+		if s.jobs != nil && cfg.RefreshAfter >= 0 {
+			after := cfg.RefreshAfter
+			if after == 0 {
+				after = DefaultRefreshAfter
+			}
+			s.refreshSpec = cfg.RefreshSpec
+			s.refresher = jobs.NewRefresher(after, s.fireRefresh)
+		}
 	}
 	return s, nil
 }
